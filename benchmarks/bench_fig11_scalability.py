@@ -1,0 +1,56 @@
+"""Figure 11 (Exp-10): scalability with the cluster size.
+
+HUGE and BiGJoin run q1 and q2 on the (larger) FS graph with 1–10
+machines.  The paper reports almost-linear scaling for HUGE, with an
+average 1→10-machine scaling factor of 7.5× versus BiGJoin's 6.7×.
+"""
+
+from common import emit, format_table, make_cluster, run_engine
+
+MACHINES = [1, 2, 4, 6, 8, 10]
+
+
+def run_fig11():
+    table = {}
+    for qname in ("q1", "q2"):
+        for engine in ("HUGE", "BiGJoin"):
+            series = []
+            for k in MACHINES:
+                cluster = make_cluster("FS", num_machines=k)
+                series.append((k, run_engine(engine, cluster, qname)))
+            table[(qname, engine)] = series
+    return table
+
+
+def test_fig11_scalability(benchmark):
+    table = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+
+    rows = []
+    factors = {}
+    for (qname, engine), series in table.items():
+        t1 = series[0][1].report.total_time_s
+        tk = series[-1][1].report.total_time_s
+        factors[(qname, engine)] = t1 / tk
+        for k, r in series:
+            rows.append([qname, engine, k,
+                         f"{r.report.total_time_s:.4f}s",
+                         f"{t1 / r.report.total_time_s:.2f}x"])
+    emit("fig11_scalability", format_table(
+        "Figure 11 (Exp-10) — scalability on FS stand-in (speedup vs k=1)",
+        ["query", "engine", "machines", "T", "speedup"], rows))
+
+    for (qname, engine), series in table.items():
+        counts = {r.count for _, r in series}
+        assert len(counts) == 1, f"{qname}/{engine}: k changed the count"
+
+    for qname in ("q1", "q2"):
+        huge = factors[(qname, "HUGE")]
+        big = factors[(qname, "BiGJoin")]
+        # meaningful scaling for HUGE, and at least as good as BiGJoin
+        assert huge > 2.5, f"{qname}: HUGE scaling factor {huge:.1f}"
+        assert huge >= big * 0.9, (qname, huge, big)
+
+        # monotone-ish: time decreases from 1 to 10 machines
+        series = table[(qname, "HUGE")]
+        assert series[-1][1].report.total_time_s < \
+            series[0][1].report.total_time_s

@@ -1,0 +1,56 @@
+"""Figure 7 (Exp-4): effectiveness of batching.
+
+With the cache disabled, the batch size is swept; larger batches aggregate
+more GetNbrs requests per RPC, raising network utilisation (the paper
+measures 71 % at 100 K, 86 % at 512 K, 94 % at 1024 K) and reducing both
+execution and communication time, flattening at large sizes.
+"""
+
+from common import emit, format_table, make_cluster, run_engine
+
+from repro.core import EngineConfig
+
+BATCH_SIZES = [16, 32, 64, 128, 256, 512, 1024]
+
+
+def run_fig7():
+    table = {}
+    for qname in ("q1", "q3"):
+        cluster = make_cluster("UK", num_machines=10)
+        series = []
+        for batch in BATCH_SIZES:
+            cfg = EngineConfig(batch_size=batch,
+                               cache_capacity_ids=1,  # cache disabled
+                               output_queue_capacity=max(8192, 8 * batch))
+            result = run_engine("HUGE", cluster, qname, config=cfg)
+            series.append((batch, result))
+        table[qname] = series
+    return table
+
+
+def test_fig7_batching(benchmark):
+    table = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+
+    rows = []
+    for qname, series in table.items():
+        for batch, r in series:
+            rep = r.report
+            rows.append([
+                qname, batch, f"{rep.total_time_s:.4f}s",
+                f"{rep.comm_time_s:.4f}s", f"{rep.messages}",
+                f"{rep.network_utilisation:.0%}",
+            ])
+    emit("fig7_batching", format_table(
+        "Figure 7 (Exp-4) — batch-size sweep on UK stand-in, cache off",
+        ["query", "batch", "T", "T_C", "messages", "net util"], rows))
+
+    for qname, series in table.items():
+        counts = {r.count for _, r in series}
+        assert len(counts) == 1, f"{qname}: batch size changed the count"
+        smallest = series[0][1].report
+        largest = series[-1][1].report
+        # bigger batches aggregate RPCs: fewer messages, higher utilisation
+        assert largest.messages < smallest.messages
+        assert largest.network_utilisation > smallest.network_utilisation
+        # and communication time improves
+        assert largest.comm_time_s < smallest.comm_time_s

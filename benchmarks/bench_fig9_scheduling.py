@@ -1,0 +1,64 @@
+"""Figure 9 (Exp-7): the DFS/BFS-adaptive scheduler.
+
+Sweeping the output-queue capacity morphs the scheduler from pure DFS
+(tiny queues: heavy scheduling overhead, poor batching) through adaptive
+to pure BFS (unbounded queues: fastest but unbounded intermediate memory).
+The paper observes overtime below 10⁶, a flat optimum around 10⁷–5·10⁷,
+and out-of-memory beyond 10⁸.  The long-running query is q6 (5-path),
+whose intermediate results explode (run on the GO stand-in, where the
+5-path still produces ~1.4 M matches).
+"""
+
+from common import emit, format_table, make_cluster
+
+from repro.core import EngineConfig, HugeEngine
+from repro.core.plan import wco_plan
+from repro.query import get_query
+
+QUEUE_SIZES = [128, 512, 2048, 8192, 32768, float("inf")]
+
+
+def run_fig9():
+    series = []
+    query = get_query("q6")
+    # the left-deep pull plan drives every intermediate through the
+    # adaptive output queues (the optimal plan for a 5-path uses a
+    # PUSH-JOIN whose buffers hide the queue effect)
+    plan = wco_plan(query)
+    for qsize in QUEUE_SIZES:
+        cluster = make_cluster("GO", num_machines=10)
+        # a small batch keeps the queue capacity (not the batch overflow)
+        # in charge, exposing the DFS↔BFS spectrum at stand-in scale
+        cfg = EngineConfig(output_queue_capacity=qsize, batch_size=128,
+                           scan_pivot_chunk=8)
+        result = HugeEngine(cluster, cfg).run(plan=plan)
+        series.append((qsize, result))
+    return series
+
+
+def test_fig9_scheduling(benchmark):
+    series = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+
+    rows = [[
+        "inf" if qsize == float("inf") else str(int(qsize)),
+        f"{r.report.total_time_s:.4f}s",
+        f"{r.report.compute_time_s:.4f}s",
+        f"{r.report.peak_memory_bytes / 1e6:.2f}MB",
+    ] for qsize, r in series]
+    emit("fig9_scheduling", format_table(
+        "Figure 9 (Exp-7) — output-queue sweep (DFS → adaptive → BFS), "
+        "q6 on GO stand-in",
+        ["queue", "T", "T_R", "peak M"], rows))
+
+    counts = {r.count for _, r in series}
+    assert len(counts) == 1
+
+    times = [r.report.total_time_s for _, r in series]
+    mems = [r.report.peak_memory_bytes for _, r in series]
+    # DFS-style scheduling (tiny queue) is the slowest configuration
+    assert times[0] == max(times)
+    # the adaptive middle ground reaches (near-)BFS speed ...
+    assert min(times[2:-1]) <= times[-1] * 1.2
+    # ... while BFS-style scheduling needs the most memory by far
+    assert mems[-1] == max(mems)
+    assert mems[-1] > 2 * mems[0]

@@ -1,0 +1,74 @@
+"""Table 1: the square query (q1) over LJ on a 10-machine cluster.
+
+Paper reference (total time, computation, communication, volume, memory):
+
+    SEED    1536.6s  343.2s  1193.4s  537.2GB  42.3GB
+    BiGJoin  195.9s  122.1s    73.8s  534.5GB  14.3GB
+    BENU    4091.7s 3763.2s   328.5s   25.3GB   1.3GB
+    RADS    2643.8s 2478.7s   165.1s  452.7GB  19.2GB
+    HUGE      52.3s   51.5s     0.8s    4.6GB   2.2GB
+
+Expected reproduction shape: HUGE fastest with the smallest transferred
+volume; BiGJoin the best baseline; BENU slowest and compute-dominated
+(external KV-store stalls) with the smallest memory; SEED/RADS in between
+with the largest memory.
+"""
+
+from common import emit, format_table, make_cluster, run_engine
+
+ENGINES = ["SEED", "BiGJoin", "BENU", "RADS", "HUGE"]
+
+
+def run_table1():
+    cluster = make_cluster("LJ", num_machines=10)
+    rows = []
+    results = {}
+    for name in ENGINES:
+        r = run_engine(name, cluster, "q1")
+        results[name] = r
+        rep = r.report
+        rows.append([
+            name,
+            f"{rep.total_time_s:.3f}",
+            f"{rep.compute_time_s:.3f}",
+            f"{rep.comm_time_s:.3f}",
+            f"{rep.bytes_transferred / 1e6:.2f}",
+            f"{rep.peak_memory_bytes / 1e6:.2f}",
+            f"{r.count}",
+        ])
+    huge_t = results["HUGE"].report.total_time_s
+    for row, name in zip(rows, ENGINES):
+        row.append(f"{results[name].report.total_time_s / huge_t:.1f}x")
+    return rows, results
+
+
+def test_table1_square_on_lj(benchmark):
+    rows, results = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    emit("table1_square_lj", format_table(
+        "Table 1 — square (q1) on LJ stand-in, k=10 (simulated)",
+        ["Work", "T(s)", "T_R(s)", "T_C(s)", "C(MB)", "M(MB)", "matches",
+         "vs HUGE"],
+        rows))
+
+    counts = {r.count for r in results.values()}
+    assert len(counts) == 1, "engines disagree on the match count"
+
+    t = {n: results[n].report.total_time_s for n in ENGINES}
+    # who wins: HUGE fastest by a clear margin, BENU slowest, RADS worse
+    # than SEED.  (Known deviation, see EXPERIMENTS.md: at stand-in scale
+    # SEED's wedge shuffle is too small to push it above BiGJoin.)
+    assert t["HUGE"] == min(t.values())
+    assert all(t[n] > 1.5 * t["HUGE"] for n in ENGINES if n != "HUGE")
+    assert t["BENU"] == max(t.values())
+    assert t["RADS"] > t["SEED"]
+
+    c = {n: results[n].report.bytes_transferred for n in ENGINES}
+    assert c["HUGE"] == min(c.values())  # hybrid comm wins on volume
+
+    m = {n: results[n].report.peak_memory_bytes for n in ENGINES}
+    assert m["BENU"] == min(m.values())  # DFS memory
+    assert m["HUGE"] < m["SEED"] and m["HUGE"] < m["RADS"]
+
+    benu = results["BENU"].report
+    assert benu.compute_time_s > benu.comm_time_s  # KV stalls land in T_R

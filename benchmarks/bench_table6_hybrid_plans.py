@@ -1,0 +1,73 @@
+"""Table 6 (Exp-9): comparing hybrid plans on q7 (5-cycle) and q8 (6-cycle).
+
+Paper reference (GO graph; planning time in brackets):
+
+            HUGE-WCO     HUGE-EH            HUGE-GF        HUGE
+    q7      OT           7340.28s (170.02s) —              —
+    q8      64.5s(21ms)  67.2s (15.6s)      64.4s (13.9s)  40.1s (6.5s)
+
+For q7 the pure-wco plan must materialise every 4-path — far worse than
+the hybrid plans that join a 3-path with a 2-path.  For q8 each optimiser
+produces its own hybrid plan and HUGE's communication-aware plan wins.
+"""
+
+import time
+
+from common import emit, format_table, make_cluster
+
+from repro.core import HugeEngine
+from repro.core.plan import (emptyheaded_plan, graphflow_plan, wco_plan)
+from repro.query import SamplingEstimator, get_query
+
+
+def run_table6():
+    table = {}
+    for qname in ("q7", "q8"):
+        cluster = make_cluster("GO", num_machines=10)
+        est = SamplingEstimator(cluster.graph, trials=600, seed=3)
+        engine = HugeEngine(cluster, estimator=est)
+        query = get_query(qname)
+        row = {}
+        planners = {
+            "HUGE-WCO": lambda: wco_plan(query),
+            "HUGE-EH": lambda: emptyheaded_plan(query, est),
+            "HUGE-GF": lambda: graphflow_plan(query, est,
+                                              cluster.graph.avg_degree),
+            "HUGE": lambda: engine.plan(query),
+        }
+        for name, planner in planners.items():
+            t0 = time.perf_counter()
+            plan = planner()
+            plan_wall = time.perf_counter() - t0
+            result = engine.run(plan=plan)
+            row[name] = (result, plan_wall, plan)
+        table[qname] = row
+    return table
+
+
+def test_table6_hybrid_plans(benchmark):
+    table = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+
+    names = ["HUGE-WCO", "HUGE-EH", "HUGE-GF", "HUGE"]
+    rows = []
+    for qname, row in table.items():
+        rows.append([qname] + [
+            f"{row[n][0].report.total_time_s:.4f}s ({row[n][1] * 1e3:.0f}ms)"
+            for n in names])
+    emit("table6_hybrid_plans", format_table(
+        "Table 6 (Exp-9) — hybrid execution plans on GO stand-in "
+        "(planning wall time in brackets)",
+        ["query"] + names, rows))
+
+    for qname, row in table.items():
+        counts = {row[n][0].count for n in names}
+        assert len(counts) == 1, f"{qname}: plans disagree on counts"
+        t = {n: row[n][0].report.total_time_s for n in names}
+        # HUGE's comm-aware plan is at least as good as every alternative
+        assert t["HUGE"] <= min(t.values()) * 1.05
+        # the pure-wco chain never beats HUGE's plan beyond noise.  At
+        # stand-in scale the cycle queries are result-dominated (the
+        # final counting scan is the shared bulk of every plan), so the
+        # paper's wide q7/q8 spreads compress to near-ties here — see
+        # EXPERIMENTS.md for the analysis.
+        assert t["HUGE"] <= t["HUGE-WCO"] * 1.05

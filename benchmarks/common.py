@@ -1,0 +1,106 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (§7).  Results are printed to the terminal (uncaptured) and
+written to ``benchmarks/results/<name>.txt`` so they survive pytest's
+output capture; ``EXPERIMENTS.md`` records the paper-vs-measured
+comparison.
+
+The simulated cluster matches the paper's local testbed: 10 machines × 4
+workers (§7.1), with budgets expressed in *simulated* seconds/bytes so the
+paper's 00M / 0T outcomes reproduce.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.baselines import (BaselineResult, BenuEngine, BigJoinEngine,
+                             RadsEngine, SeedEngine)
+from repro.cluster import (Cluster, CostModel, OutOfMemoryError,
+                           OvertimeError)
+from repro.core import EngineConfig, EnumerationResult, HugeEngine
+from repro.graph import load_dataset
+from repro.query import get_query
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: default simulated budgets for the all-round comparison
+DEFAULT_MEMORY_BUDGET = 24e6     # bytes per machine (24 "GB" scaled: 1e6 ≈ 1 GB)
+DEFAULT_TIME_BUDGET = 60.0       # simulated seconds (≈ the paper's 3 hours)
+
+
+def make_cluster(dataset: str, num_machines: int = 10,
+                 workers: int = 4, scale: float = 1.0,
+                 memory_budget: float = float("inf"),
+                 time_budget: float = float("inf"),
+                 seed: int = 1) -> Cluster:
+    """A paper-shaped cluster over a named stand-in dataset."""
+    graph = load_dataset(dataset, scale=scale)
+    cost = CostModel(memory_budget_bytes=memory_budget,
+                     time_budget_s=time_budget)
+    return Cluster(graph, num_machines=num_machines,
+                   workers_per_machine=workers, cost=cost, seed=seed)
+
+
+def run_engine(name: str, cluster: Cluster, query_name: str,
+               config: EngineConfig | None = None,
+               **engine_kwargs) -> EnumerationResult | BaselineResult | str:
+    """Run one engine; returns its result, or ``"00M"`` / ``"0T"``."""
+    query = get_query(query_name)
+    factories: dict[str, Callable] = {
+        "HUGE": lambda: HugeEngine(cluster, config, **engine_kwargs),
+        "SEED": lambda: SeedEngine(cluster, **engine_kwargs),
+        "BiGJoin": lambda: BigJoinEngine(cluster, **engine_kwargs),
+        "BENU": lambda: BenuEngine(cluster, **engine_kwargs),
+        "RADS": lambda: RadsEngine(cluster, **engine_kwargs),
+    }
+    try:
+        return factories[name]().run(query)
+    except OutOfMemoryError:
+        return "00M"
+    except OvertimeError:
+        return "0T"
+
+
+def format_table(title: str, headers: list[str],
+                 rows: list[list[str]]) -> str:
+    """Render an aligned text table."""
+    widths = [max(len(str(headers[i])),
+                  max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table (bypassing capture) and persist it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
+              encoding="utf-8") as f:
+        f.write(text + "\n")
+    print("\n" + text, flush=True)
+
+
+def fmt_time(result) -> str:
+    """Format total time, or the failure marker."""
+    if isinstance(result, str):
+        return result
+    return f"{result.report.total_time_s:.3f}s"
+
+
+def fmt_mem(result) -> str:
+    if isinstance(result, str):
+        return "-"
+    return f"{result.report.peak_memory_bytes / 1e6:.2f}MB"
+
+
+def fmt_comm(result) -> str:
+    if isinstance(result, str):
+        return "-"
+    return f"{result.report.bytes_transferred / 1e6:.2f}MB"

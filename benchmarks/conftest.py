@@ -1,0 +1,7 @@
+"""Benchmark configuration: make `pytest benchmarks/` discover these files."""
+
+import sys
+from pathlib import Path
+
+# allow `import common` from benchmark modules
+sys.path.insert(0, str(Path(__file__).parent))

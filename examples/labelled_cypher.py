@@ -1,0 +1,55 @@
+"""Labelled graphs and the Cypher front-end (paper §2 fn. 3 and §6).
+
+Builds a small "marketplace" graph where every vertex is a User, an Item
+or a Tag, and answers labelled pattern queries through the Cypher-like
+front-end — including a co-purchase recommendation pattern.
+
+Run:  python examples/labelled_cypher.py
+"""
+
+import numpy as np
+
+from repro import Cluster
+from repro.apps import execute_cypher
+from repro.graph import generators
+
+LABELS = {"User": 0, "Item": 1, "Tag": 2}
+
+
+def main() -> None:
+    graph = generators.power_law_cluster(400, 3, triad_p=0.4, seed=11)
+    rng = np.random.default_rng(11)
+    labels = rng.choice([0, 0, 1, 1, 2], size=graph.num_vertices)
+    cluster = Cluster(graph, num_machines=4, labels=labels, seed=2)
+    counts = {name: int((labels == lid).sum())
+              for name, lid in LABELS.items()}
+    print(f"marketplace graph: {graph}; vertices by label: {counts}\n")
+
+    queries = [
+        ("users connected to items",
+         "MATCH (u:User)--(i:Item) RETURN count(*)"),
+        ("items sharing a tag",
+         "MATCH (a:Item)--(t:Tag)--(b:Item) RETURN count(*)"),
+        ("co-purchase wedge (two users, one item)",
+         "MATCH (u:User)--(i:Item)--(v:User) RETURN count(*)"),
+        ("labelled triangle (user-item-tag)",
+         "MATCH (u:User)--(i:Item)--(t:Tag), (t)--(u) RETURN count(*)"),
+    ]
+    for title, text in queries:
+        result = execute_cypher(cluster, text, label_ids=LABELS)
+        print(f"{title}:")
+        print(f"  {text}")
+        print(f"  -> {result.count} matches "
+              f"({result.report.total_time_s * 1e3:.2f} ms simulated)\n")
+
+    # a projection: which users co-purchased with user of the first match?
+    rows = execute_cypher(
+        cluster, "MATCH (u:User)--(i:Item)--(v:User) RETURN u, i, v",
+        label_ids=LABELS)
+    print("first five co-purchase bindings (u, i, v):")
+    for row in (rows.rows or [])[:5]:
+        print(f"  {row}")
+
+
+if __name__ == "__main__":
+    main()

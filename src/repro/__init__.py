@@ -1,0 +1,49 @@
+"""HUGE: an efficient and scalable subgraph enumeration system.
+
+Python reproduction of Yang, Lai, Lin, Hao & Zhang, SIGMOD 2021.
+
+Subpackages
+-----------
+``repro.graph``
+    CSR graph storage, generators, partitioning, datasets.
+``repro.query``
+    Query patterns, symmetry breaking, cardinality estimation.
+``repro.cluster``
+    The simulated shared-nothing cluster: cost model, metrics, RPC.
+``repro.core``
+    HUGE itself: optimiser (Algorithm 1), dataflow translation
+    (Algorithm 2), LRBU cache (Algorithm 3), two-stage PULL-EXTEND
+    (Algorithm 4), DFS/BFS-adaptive scheduler (Algorithm 5), work
+    stealing, and the engine façade.
+``repro.baselines``
+    SEED, BiGJoin, BENU, RADS, the external KV store, and the brute-force
+    reference enumerator.
+``repro.apps``
+    §6 applications: shortest paths, hop-constrained paths, mining.
+"""
+
+from .api import count_subgraphs, enumerate_subgraphs, make_cluster
+from .cluster import Cluster, CostModel, OutOfMemoryError, OvertimeError
+from .core import EngineConfig, EnumerationResult, HugeEngine
+from .graph import Graph, load_dataset
+from .query import QueryGraph, get_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "count_subgraphs",
+    "enumerate_subgraphs",
+    "make_cluster",
+    "Cluster",
+    "CostModel",
+    "OutOfMemoryError",
+    "OvertimeError",
+    "EngineConfig",
+    "EnumerationResult",
+    "HugeEngine",
+    "Graph",
+    "load_dataset",
+    "QueryGraph",
+    "get_query",
+    "__version__",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``query``
+    Enumerate a pattern on a named dataset (or an edge-list file)::
+
+        python -m repro query --data LJ --pattern q1 --machines 10
+        python -m repro query --data graph.txt --cypher \\
+            "MATCH (a)--(b)--(c), (c)--(a) RETURN count(*)"
+
+``plan``
+    Show the Algorithm-1 execution plan for a pattern on a dataset.
+
+``datasets``
+    List the built-in stand-in datasets (Table 3).
+
+``motifs``
+    Count every k-vertex motif on a dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cluster.cluster import Cluster
+from .core.engine import EngineConfig, HugeEngine
+from .graph.datasets import DATASETS, load_dataset
+from .graph.io import load_edge_list
+from .query.pattern import QUERIES, get_query
+
+
+def _load_graph(spec: str, scale: float):
+    if spec.upper() in DATASETS:
+        return load_dataset(spec, scale=scale)
+    return load_edge_list(spec)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.data, args.scale)
+    cluster = Cluster(graph, num_machines=args.machines,
+                      workers_per_machine=args.workers, seed=args.seed)
+    print(f"data graph: {graph}")
+    if args.cypher:
+        from .apps.cypher import execute_cypher
+
+        result = execute_cypher(cluster, args.cypher)
+        print(f"matches: {result.count}")
+        if result.rows is not None:
+            for row in result.rows[: args.limit]:
+                print("  " + ", ".join(
+                    f"{c}={v}" for c, v in zip(result.columns, row)))
+        report = result.report
+    else:
+        engine = HugeEngine(cluster,
+                            EngineConfig(collect_results=args.show > 0))
+        res = engine.run(get_query(args.pattern))
+        print(f"matches: {res.count}")
+        if args.show:
+            for match in (res.matches or [])[: args.show]:
+                print(f"  {match}")
+        report = res.report
+    print(f"simulated time: {report.total_time_s:.4f}s "
+          f"(compute {report.compute_time_s:.4f}s, "
+          f"comm {report.comm_time_s:.4f}s)")
+    print(f"transferred: {report.bytes_transferred / 1e6:.2f} MB; "
+          f"peak machine memory: {report.peak_memory_bytes / 1e6:.2f} MB")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.data, args.scale)
+    cluster = Cluster(graph, num_machines=args.machines, seed=args.seed)
+    engine = HugeEngine(cluster)
+    plan = engine.plan(get_query(args.pattern))
+    print(plan.describe())
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    print(f"{'name':5s} {'family':7s} {'paper |V|':>13s} {'paper |E|':>15s} "
+          f"{'stand-in |V|':>13s} {'stand-in |E|':>13s}")
+    for spec in DATASETS.values():
+        g = spec.load()
+        print(f"{spec.name:5s} {spec.family:7s} {spec.paper_vertices:>13,} "
+              f"{spec.paper_edges:>15,} {g.num_vertices:>13,} "
+              f"{g.num_edges:>13,}")
+    return 0
+
+
+def _cmd_motifs(args: argparse.Namespace) -> int:
+    from .apps.mining import motif_counts
+
+    graph = _load_graph(args.data, args.scale)
+    cluster = Cluster(graph, num_machines=args.machines, seed=args.seed)
+    for name, count in sorted(motif_counts(cluster, args.k).items()):
+        print(f"{name:14s} {count:>14,}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="HUGE subgraph enumeration (SIGMOD 2021 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--data", required=True,
+                       help="dataset name (GO/LJ/OR/UK/EU/FS/CW) or an "
+                            "edge-list file")
+        p.add_argument("--machines", type=int, default=4)
+        p.add_argument("--workers", type=int, default=4)
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--seed", type=int, default=0)
+
+    q = sub.add_parser("query", help="enumerate a pattern")
+    common(q)
+    q.add_argument("--pattern", default="triangle",
+                   choices=sorted(QUERIES),
+                   help="benchmark pattern name")
+    q.add_argument("--cypher", help="Cypher MATCH … RETURN … query "
+                                    "(overrides --pattern)")
+    q.add_argument("--show", type=int, default=0,
+                   help="print the first N matches")
+    q.add_argument("--limit", type=int, default=10,
+                   help="max rows to print for Cypher projections")
+    q.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("plan", help="show the Algorithm-1 plan")
+    common(p)
+    p.add_argument("--pattern", default="q1", choices=sorted(QUERIES))
+    p.set_defaults(func=_cmd_plan)
+
+    d = sub.add_parser("datasets", help="list stand-in datasets")
+    d.set_defaults(func=_cmd_datasets)
+
+    m = sub.add_parser("motifs", help="count k-vertex motifs")
+    common(m)
+    m.add_argument("--k", type=int, default=3, choices=(2, 3, 4, 5))
+    m.set_defaults(func=_cmd_motifs)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Graph pattern mining on top of the HUGE engine (paper §6).
+
+"A GPM system essentially processes subgraph enumeration repeatedly from
+small query graphs to larger ones, each time adding one more query
+vertex/edge.  Thus, HUGE can be deployed as a GPM system by adding the
+control flow like loop."  This module provides that loop:
+
+* :func:`motif_counts` — counts of every connected pattern with ``k``
+  vertices (motif counting [52]);
+* :func:`frequent_patterns` — the patterns whose instance count clears a
+  support threshold, grown level-wise (frequent subgraph mining [36]).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..cluster.cluster import Cluster
+from ..core.engine import EngineConfig, HugeEngine
+from ..query.pattern import QueryGraph
+
+__all__ = ["connected_patterns", "motif_counts", "frequent_patterns"]
+
+
+def _canonical(pattern: QueryGraph) -> tuple:
+    """A cheap canonical form for tiny patterns: the lexicographically
+    smallest edge set over all vertex permutations."""
+    from itertools import permutations
+
+    n = pattern.num_vertices
+    best = None
+    for perm in permutations(range(n)):
+        edges = tuple(sorted(
+            (min(perm[u], perm[v]), max(perm[u], perm[v]))
+            for u, v in pattern.edges))
+        if best is None or edges < best:
+            best = edges
+    return (n, best)
+
+
+def connected_patterns(k: int) -> list[QueryGraph]:
+    """All non-isomorphic connected patterns on ``k`` vertices (k ≤ 5)."""
+    if not 2 <= k <= 5:
+        raise ValueError("pattern size must be between 2 and 5")
+    all_edges = list(combinations(range(k), 2))
+    seen: dict[tuple, QueryGraph] = {}
+    for mask in range(1, 1 << len(all_edges)):
+        edges = [e for i, e in enumerate(all_edges) if mask >> i & 1]
+        q = QueryGraph(k, edges)
+        if q.num_edges < k - 1 or not q.is_connected():
+            continue
+        if any(q.degree(v) == 0 for v in q.vertices()):
+            continue
+        key = _canonical(q)
+        if key not in seen:
+            seen[key] = QueryGraph(k, edges, name=f"motif{k}-{len(seen)}")
+    return list(seen.values())
+
+
+def motif_counts(cluster: Cluster, k: int,
+                 config: EngineConfig | None = None) -> dict[str, int]:
+    """Count every ``k``-vertex motif with the HUGE engine.
+
+    Returns pattern name → instance count.  Each motif is one subgraph
+    enumeration query planned by Algorithm 1; this is the GPM loop of §6.
+    """
+    engine = HugeEngine(cluster, config)
+    counts: dict[str, int] = {}
+    for pattern in connected_patterns(k):
+        result = engine.run(pattern)
+        counts[pattern.name] = result.count
+    return counts
+
+
+def frequent_patterns(cluster: Cluster, max_size: int, min_support: int,
+                      config: EngineConfig | None = None
+                      ) -> list[tuple[QueryGraph, int]]:
+    """Level-wise frequent subgraph mining.
+
+    Grows patterns one vertex at a time (sizes 2 .. ``max_size``), keeping
+    those with at least ``min_support`` instances.  Anti-monotonicity
+    prunes: a size-``k`` pattern is only counted if some frequent
+    size-``k−1`` pattern is a subgraph shape of it (checked structurally).
+    """
+    if max_size < 2:
+        raise ValueError("max_size must be at least 2")
+    engine = HugeEngine(cluster, config)
+    frequent: list[tuple[QueryGraph, int]] = []
+    for size in range(2, max_size + 1):
+        level = []
+        for pattern in connected_patterns(size):
+            result = engine.run(pattern)
+            if result.count >= min_support:
+                level.append((pattern, result.count))
+        if not level:
+            break
+        frequent.extend(level)
+    return frequent

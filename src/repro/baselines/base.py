@@ -1,0 +1,337 @@
+"""Common machinery for the baseline distributed engines.
+
+SEED / BiGJoin / RADS all materialise *distributed relations* — partial
+results partitioned across machines — and move them with hash shuffles.
+This module provides those building blocks with full cost/memory
+accounting, so each baseline implementation stays a faithful, readable
+transcription of its algorithm.
+
+Memory is charged **incrementally while results are generated**, so an
+exploding star expansion or join aborts with the paper's ``00M`` / ``0T``
+outcome as soon as the budget is crossed, instead of grinding through the
+full explosion first.  Star expansion additionally pre-flights its
+predicted output size (``Σ_u C(d_u, |L|)`` patterns) for the same reason.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations, permutations
+from typing import Iterable, Sequence
+
+from ..cluster.cluster import Cluster
+from ..cluster.errors import OvertimeError
+from ..cluster.metrics import RunReport
+from ..query.symmetry import PartialOrder
+
+__all__ = [
+    "Tuple",
+    "BaselineResult",
+    "DistributedRelation",
+    "BaselineEngine",
+    "new_conditions",
+    "valid_leaf_patterns",
+    "filter_tuples",
+    "materialize_star",
+]
+
+Tuple = tuple[int, ...]
+
+#: incremental memory-charge granularity (tuples)
+_CHUNK = 4096
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline run (mirrors the HUGE result shape)."""
+
+    name: str
+    count: int
+    report: RunReport
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Matches per simulated second."""
+        if self.report.total_time_s <= 0:
+            return 0.0
+        return self.count / self.report.total_time_s
+
+
+def new_conditions(schema: Sequence[int], applied: set[tuple[int, int]],
+                   conditions: PartialOrder) -> list[tuple[int, int]]:
+    """Conditions newly checkable on ``schema``; returned as positional
+    pairs ``(i, j)`` meaning ``f[i] < f[j]`` and marked as applied."""
+    out: list[tuple[int, int]] = []
+    for (u, v) in conditions:
+        if (u, v) in applied:
+            continue
+        if u in schema and v in schema:
+            out.append((schema.index(u), schema.index(v)))
+            applied.add((u, v))
+    return out
+
+
+def filter_tuples(tuples: Iterable[Tuple],
+                  positional: Sequence[tuple[int, int]],
+                  distinct: Sequence[tuple[int, int]] = ()) -> list[Tuple]:
+    """Apply positional symmetry and distinctness filters."""
+    out: list[Tuple] = []
+    for f in tuples:
+        if any(f[i] >= f[j] for i, j in positional):
+            continue
+        if any(f[i] == f[j] for i, j in distinct):
+            continue
+        out.append(f)
+    return out
+
+
+class DistributedRelation:
+    """A materialised, partitioned bag of partial-result tuples.
+
+    Creation (or incremental generation) charges simulated memory on each
+    machine; :meth:`drop` releases it.  Baselines that keep every
+    intermediate alive (as SEED does) never drop until the end — that is
+    what drives their peak memory in Table 1.
+    """
+
+    def __init__(self, cluster: Cluster, schema: tuple[int, ...],
+                 partitions: list[list[Tuple]], charge_memory: bool = True):
+        if len(partitions) != cluster.num_machines:
+            raise ValueError("one partition per machine required")
+        self.cluster = cluster
+        self.schema = schema
+        self.partitions = partitions
+        self._alive = True
+        if charge_memory:
+            bytes_per_id = cluster.cost.bytes_per_id
+            for m, part in enumerate(partitions):
+                cluster.metrics.alloc(m, len(part) * len(schema) * bytes_per_id)
+
+    @property
+    def total(self) -> int:
+        """Total tuple count across machines."""
+        return sum(len(p) for p in self.partitions)
+
+    def tuple_bytes(self) -> int:
+        """Bytes per tuple."""
+        return len(self.schema) * self.cluster.cost.bytes_per_id
+
+    def drop(self) -> None:
+        """Release the relation's simulated memory."""
+        if not self._alive:
+            return
+        for m, part in enumerate(self.partitions):
+            self.cluster.metrics.free(m, len(part) * self.tuple_bytes())
+        self._alive = False
+
+    # -- relational ops ---------------------------------------------------------
+
+    def shuffle(self, key_pos: tuple[int, ...]) -> "DistributedRelation":
+        """Hash-shuffle by key positions (pushing communication)."""
+        cluster = self.cluster
+        k = cluster.num_machines
+        parts: list[list[Tuple]] = [[] for _ in range(k)]
+        for src, part in enumerate(self.partitions):
+            counts = [0] * k
+            for f in part:
+                dest = hash(tuple(f[p] for p in key_pos)) % k
+                parts[dest].append(f)
+                counts[dest] += 1
+            for dest, n in enumerate(counts):
+                cluster.push(src, dest, n, len(self.schema))
+        shuffled = DistributedRelation(cluster, self.schema, parts)
+        self.drop()
+        cluster.metrics.check_time()
+        return shuffled
+
+    def hash_join(self, other: "DistributedRelation",
+                  conditions: PartialOrder,
+                  applied: set[tuple[int, int]],
+                  count_only: bool = False
+                  ) -> "DistributedRelation | int":
+        """Distributed hash join: shuffle both sides on the shared key,
+        then join locally per machine.  Consumes both inputs.  Output
+        memory is charged incrementally so explosions abort early.
+
+        With ``count_only`` (for a plan's final join, under the counting
+        decompression of §7.1) outputs are counted, not materialised, and
+        the total count is returned instead of a relation.
+        """
+        cluster = self.cluster
+        cost = cluster.cost
+        metrics = cluster.metrics
+        shared = sorted(set(self.schema) & set(other.schema))
+        if not shared:
+            raise ValueError("join with empty key")
+        lkey = tuple(self.schema.index(v) for v in shared)
+        rkey = tuple(other.schema.index(v) for v in shared)
+        left = self.shuffle(lkey)
+        right = other.shuffle(rkey)
+
+        out_schema = left.schema + tuple(
+            v for v in right.schema if v not in left.schema)
+        carry = tuple(right.schema.index(v) for v in right.schema
+                      if v not in left.schema)
+        left_only = [v for v in left.schema if v not in shared]
+        right_only = [v for v in right.schema if v not in left.schema]
+        distinct = [(out_schema.index(u), out_schema.index(v))
+                    for u in left_only for v in right_only]
+        positional = new_conditions(out_schema, applied, conditions)
+        out_bytes = len(out_schema) * cost.bytes_per_id
+
+        parts: list[list[Tuple]] = []
+        counted = 0
+        workers = cluster.workers_per_machine
+        for m in range(cluster.num_machines):
+            lpart, rpart = left.partitions[m], right.partitions[m]
+            build_left = len(lpart) <= len(rpart)
+            bpart, ppart = (lpart, rpart) if build_left else (rpart, lpart)
+            bkey, pkey = (lkey, rkey) if build_left else (rkey, lkey)
+            table: dict[Tuple, list[Tuple]] = {}
+            for f in bpart:
+                table.setdefault(tuple(f[p] for p in bkey), []).append(f)
+            out: list[Tuple] = []
+            pending = 0
+            ops = len(bpart) * cost.hash_build_op
+            for f in ppart:
+                ops += cost.hash_probe_op
+                for g in table.get(tuple(f[p] for p in pkey), ()):
+                    lf, rf = (g, f) if build_left else (f, g)
+                    joined = lf + tuple(rf[p] for p in carry)
+                    if any(joined[i] == joined[j] for i, j in distinct):
+                        continue
+                    if any(joined[i] >= joined[j] for i, j in positional):
+                        continue
+                    if count_only:
+                        counted += 1
+                        ops += 2 * cost.emit_op
+                        continue
+                    out.append(joined)
+                    pending += 1
+                    ops += len(joined) * cost.emit_op
+                    if pending >= _CHUNK:
+                        metrics.alloc(m, pending * out_bytes)
+                        pending = 0
+                        metrics.charge_ops(m, ops)
+                        ops = 0.0
+                        metrics.check_time()
+            metrics.alloc(m, pending * out_bytes)
+            metrics.charge_worker_ops(m, [ops / workers] * workers)
+            parts.append(out)
+        left.drop()
+        right.drop()
+        metrics.check_time()
+        if count_only:
+            return counted
+        return DistributedRelation(cluster, out_schema, parts,
+                                   charge_memory=False)
+
+
+def valid_leaf_patterns(num_leaves: int,
+                         leaf_conditions: Sequence[tuple[int, int]]
+                         ) -> list[tuple[int, ...]]:
+    """Permutation patterns of leaf positions consistent with the leaf-leaf
+    symmetry conditions; applied to an ascending value combination, pattern
+    ``p`` places the ``p[i]``-smallest value at leaf ``i``."""
+    valid = []
+    for perm in permutations(range(num_leaves)):
+        if all(perm[i] < perm[j] for i, j in leaf_conditions):
+            valid.append(perm)
+    return valid
+
+
+def materialize_star(cluster: Cluster, root: int, leaves: Sequence[int],
+                     conditions: PartialOrder,
+                     applied: set[tuple[int, int]],
+                     workers_balanced: bool = False) -> DistributedRelation:
+    """Materialise all matches of the star ``(root; leaves)`` from each
+    machine's local partition (how StarJoin/SEED/RADS compute join units
+    [45]): leaf assignments are combinations of each root vertex's
+    neighbours, ordered consistently with the symmetry conditions.
+
+    For hub vertices the output is ``C(d, |L|)``-sized — the star explosion
+    that makes those systems memory-hungry.  Predicted size is pre-flighted
+    against the memory budget and generation charges memory incrementally,
+    so the explosion aborts with ``00M``/``0T`` early.
+    """
+    cost = cluster.cost
+    metrics = cluster.metrics
+    schema = (root,) + tuple(leaves)
+    positional = new_conditions(schema, applied, conditions)
+    root_conds = [(i, j) for i, j in positional if i == 0 or j == 0]
+    leaf_conds = [(i - 1, j - 1) for i, j in positional if i != 0 and j != 0]
+    patterns = valid_leaf_patterns(len(leaves), leaf_conds)
+    nl = len(leaves)
+    tuple_bytes = (nl + 1) * cost.bytes_per_id
+
+    # pre-flight: predicted output size and ops per machine
+    for m in range(cluster.num_machines):
+        predicted = 0.0
+        for u in cluster.local_vertices(m):
+            d = cluster.pgraph.graph.degree(int(u))
+            if d >= nl:
+                predicted += math.comb(d, nl) * len(patterns)
+        predicted_bytes = predicted * tuple_bytes / max(1, 2 ** len(root_conds))
+        used = metrics.machines[m].cur_mem_bytes
+        if used + predicted_bytes > cost.memory_budget_bytes:
+            # would not fit even before filtering: report 00M now
+            metrics.alloc(m, predicted_bytes)  # raises OutOfMemoryError
+        est_ops = predicted * (nl + 1) * cost.emit_op
+        if (metrics.compute_time(m) + cost.ops_to_seconds(est_ops)
+                > cost.time_budget_s):
+            raise OvertimeError(cost.time_budget_s + 1, cost.time_budget_s)
+
+    parts: list[list[Tuple]] = []
+    workers = cluster.workers_per_machine
+    for m in range(cluster.num_machines):
+        out: list[Tuple] = []
+        pending = 0
+        worker_ops = [0.0] * workers
+        for idx, u in enumerate(cluster.local_vertices(m)):
+            u = int(u)
+            nbrs = cluster.pgraph.neighbours_local(u, m)
+            ops = len(nbrs) * cost.scan_op
+            if len(nbrs) >= nl:
+                for combo in combinations(nbrs.tolist(), nl):
+                    for pattern in patterns:
+                        f = (u,) + tuple(combo[p] for p in pattern)
+                        if any(f[i] >= f[j] for i, j in root_conds):
+                            continue
+                        out.append(f)
+                        pending += 1
+                        ops += (nl + 1) * cost.emit_op
+                if pending >= _CHUNK:
+                    metrics.alloc(m, pending * tuple_bytes)
+                    pending = 0
+                    metrics.check_time()
+            if workers_balanced:
+                for wi in range(workers):
+                    worker_ops[wi] += ops / workers
+            else:
+                worker_ops[idx % workers] += ops
+        metrics.alloc(m, pending * tuple_bytes)
+        metrics.charge_worker_ops(m, worker_ops)
+        parts.append(out)
+        metrics.check_time()
+    return DistributedRelation(cluster, schema, parts, charge_memory=False)
+
+
+class BaselineEngine:
+    """Base class: holds the cluster and wraps result reporting."""
+
+    name = "baseline"
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+
+    def _check_query(self, query) -> None:
+        """The baseline reproductions implement the papers' unlabelled
+        algorithms; labelled matching is a HUGE-engine feature."""
+        if query.is_labelled:
+            raise NotImplementedError(
+                f"{self.name} does not support labelled queries; "
+                "use the HUGE engine")
+
+    def _result(self, count: int) -> BaselineResult:
+        return BaselineResult(self.name, count, self.cluster.metrics.report())

@@ -1,0 +1,154 @@
+"""BENU [84]: distributed subgraph enumeration with backtracking.
+
+BENU embarrassingly parallelises a sequential DFS backtracking program
+(Ullmann-style [82]) on each machine: every machine takes its local edges
+as pivot tasks and matches the remaining query vertices depth-first,
+pulling adjacency lists from an external key-value store (Cassandra)
+through a per-machine LRU cache.
+
+Characteristics reproduced here (Table 1 row BENU):
+
+* tiny memory — DFS holds one partial match plus the cache;
+* low communication volume — only cache misses touch the wire;
+* poor computation time — every miss stalls on the external store, and the
+  DFS cannot batch or overlap those stalls (§1: low CPU utilisation);
+* load skew — work is distributed by the firstly matched (pivot) vertex
+  with no stealing (Exp-8's comparison point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..core.cache import LRUCache
+from ..core.plan.plans import dfs_order
+from ..query.pattern import QueryGraph
+from ..query.symmetry import symmetry_break
+from .base import BaselineEngine, BaselineResult
+from .kvstore import ExternalKVStore
+
+__all__ = ["BenuEngine"]
+
+
+class BenuEngine(BaselineEngine):
+    """BENU: pulling-based DFS enumeration over an external KV store."""
+
+    name = "BENU"
+
+    def __init__(self, cluster: Cluster, cache_capacity_fraction: float = 0.3,
+                 load_store: bool = True):
+        super().__init__(cluster)
+        self.cache_capacity_fraction = cache_capacity_fraction
+        self._load_store = load_store
+
+    def run(self, query: QueryGraph,
+            reset_metrics: bool = True) -> BaselineResult:
+        """Enumerate ``query`` BENU-style; returns count + metrics."""
+        self._check_query(query)
+        cluster = self.cluster
+        cost = cluster.cost
+        if reset_metrics:
+            cluster.reset_metrics()
+        store = ExternalKVStore(cluster)
+        if self._load_store:
+            store.load()
+        else:
+            store._loaded = True
+
+        g = cluster.graph
+        capacity = max(1, int(self.cache_capacity_fraction
+                              * (2 * g.num_edges + g.num_vertices)))
+        cluster.metrics.reserve_constant(capacity * cost.bytes_per_id)
+
+        order = dfs_order(query)
+        conditions = symmetry_break(query)
+        n = query.num_vertices
+        # back[i]: pattern neighbours of order[i] among order[:i]
+        back = [[order.index(u) for u in query.neighbours(order[i])
+                 if u in order[:i]] for i in range(n)]
+        # symmetry conditions positional in match-order space
+        cond_by_depth: list[list[tuple[int, bool]]] = [[] for _ in range(n)]
+        for (u, v) in conditions:
+            iu, iv = order.index(u), order.index(v)
+            if iu < iv:
+                cond_by_depth[iv].append((iu, True))   # f[iv] > f[iu]
+            else:
+                cond_by_depth[iu].append((iv, False))  # f[iu] < f[iv]
+
+        total = 0
+        workers = cluster.workers_per_machine
+        for m in range(cluster.num_machines):
+            cache = LRUCache(capacity, cost)
+            ops_box = [0.0]
+
+            def nbrs_of(u: int) -> np.ndarray:
+                if cluster.pgraph.owner_of(u) == m:
+                    return cluster.pgraph.neighbours_local(u, m)
+                if cache.contains(u):
+                    cluster.metrics.record_cache(m, hits=1)
+                    ops_box[0] += cache.access_penalty(u)
+                    return cache.get(u)
+                cluster.metrics.record_cache(m, misses=1)
+                fetched = store.get(m, u)
+                cache.insert(u, fetched)
+                ops_box[0] += cache.access_penalty(u)
+                return fetched
+
+            def dfs(match: list[int], depth: int) -> int:
+                if depth == n:
+                    ops_box[0] += n * cost.emit_op
+                    return 1
+                cand: np.ndarray | None = None
+                lengths: list[int] = []
+                for b in back[depth]:
+                    nbrs = nbrs_of(match[b])
+                    lengths.append(len(nbrs))
+                    cand = nbrs if cand is None else np.intersect1d(
+                        cand, nbrs, assume_unique=True)
+                ops_box[0] += cost.intersection_ops(lengths)
+                found = 0
+                assert cand is not None  # queries are connected
+                for v in cand:
+                    v = int(v)
+                    if v in match:
+                        continue
+                    ok = True
+                    for (pos, greater) in cond_by_depth[depth]:
+                        if greater and v <= match[pos]:
+                            ok = False
+                            break
+                        if not greater and v >= match[pos]:
+                            ok = False
+                            break
+                    if ok:
+                        match.append(v)
+                        found += dfs(match, depth + 1)
+                        match.pop()
+                return found
+
+            # pivot tasks: local edges matching (order[0], order[1])
+            task_ops: list[float] = []
+            count_m = 0
+            for u in cluster.local_vertices(m):
+                u = int(u)
+                for v in cluster.pgraph.neighbours_local(u, m):
+                    v = int(v)
+                    ops_box[0] = 2 * cost.scan_op
+                    ok = True
+                    for (pos, greater) in cond_by_depth[1]:
+                        if greater and v <= u:
+                            ok = False
+                        if not greater and v >= u:
+                            ok = False
+                    if ok:
+                        count_m += dfs([u, v], 2)
+                    task_ops.append(ops_box[0])
+                cluster.metrics.check_time()
+            total += count_m
+            # BENU distributes load by the pivot vertex: contiguous chunks
+            # per worker, no stealing (skew preserved)
+            from ..core.stealing import chunked_distribution
+            per_worker = chunked_distribution(task_ops, workers)
+            cluster.metrics.charge_worker_ops(m, per_worker)
+        return self._result(total)

@@ -1,0 +1,140 @@
+"""Reference brute-force subgraph enumerator (ground truth).
+
+A deliberately simple, independent backtracking enumerator in the style of
+Ullmann [82].  Every engine in this repository — HUGE itself, the four
+distributed baselines, and every plug-in logical plan — is validated
+against it: on the same graph and pattern, all must produce the identical
+set of symmetry-broken matches.
+
+This module is single-machine and does no cost accounting; it exists purely
+for correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..query.automorphism import automorphism_count
+from ..query.pattern import QueryGraph
+from ..query.symmetry import PartialOrder, symmetry_break
+
+__all__ = [
+    "enumerate_ordered_embeddings",
+    "count_ordered_embeddings",
+    "enumerate_matches",
+    "count_matches",
+    "count_instances",
+]
+
+
+def _extension_order(pattern: QueryGraph) -> list[int]:
+    """A connected matching order starting at a max-degree pattern vertex."""
+    if pattern.num_vertices == 0:
+        return []
+    order = [max(pattern.vertices(), key=pattern.degree)]
+    seen = set(order)
+    while len(order) < pattern.num_vertices:
+        candidates = [v for v in pattern.vertices()
+                      if v not in seen and pattern.neighbours(v) & seen]
+        if not candidates:
+            raise ValueError("pattern must be connected")
+        nxt = max(candidates, key=lambda v: len(pattern.neighbours(v) & seen))
+        order.append(nxt)
+        seen.add(nxt)
+    return order
+
+
+def enumerate_ordered_embeddings(
+        graph: Graph, pattern: QueryGraph,
+        labels: "np.ndarray | None" = None) -> Iterator[tuple[int, ...]]:
+    """Yield every ordered embedding of ``pattern`` into ``graph``.
+
+    An ordered embedding is an injective map ``f`` with
+    ``(u, v) ∈ E_q ⇒ (f(u), f(v)) ∈ E_G``; each subgraph instance appears
+    ``|Aut(pattern)|`` times.  Tuples are indexed by pattern vertex:
+    ``result[v] = f(v)``.  For labelled patterns, ``labels`` supplies the
+    per-data-vertex labels and label constraints are enforced.
+    """
+    n = pattern.num_vertices
+    if n == 0:
+        return
+    if pattern.is_labelled and labels is None:
+        raise ValueError("labelled pattern needs a data-vertex label array")
+    order = _extension_order(pattern)
+    back = [[u for u in pattern.neighbours(v) if u in order[:i]]
+            for i, v in enumerate(order)]
+    assignment: dict[int, int] = {}
+
+    def label_ok(v: int, c: int) -> bool:
+        want = pattern.label(v)
+        return want is None or labels is None or int(labels[c]) == want
+
+    def recurse(i: int) -> Iterator[tuple[int, ...]]:
+        if i == n:
+            yield tuple(assignment[v] for v in pattern.vertices())
+            return
+        v = order[i]
+        if i == 0:
+            candidates: np.ndarray | range = graph.vertices()
+        else:
+            cand: np.ndarray | None = None
+            for u in back[i]:
+                nbrs = graph.neighbours(assignment[u])
+                cand = nbrs if cand is None else np.intersect1d(
+                    cand, nbrs, assume_unique=True)
+            candidates = cand if cand is not None else np.empty(0, np.int64)
+        used = set(assignment.values())
+        for c in candidates:
+            c = int(c)
+            if c in used or not label_ok(v, c):
+                continue
+            assignment[v] = c
+            yield from recurse(i + 1)
+            del assignment[v]
+
+    yield from recurse(0)
+
+
+def count_ordered_embeddings(graph: Graph, pattern: QueryGraph,
+                             labels: "np.ndarray | None" = None) -> int:
+    """Number of ordered embeddings of ``pattern`` into ``graph``."""
+    return sum(1 for _ in enumerate_ordered_embeddings(graph, pattern,
+                                                       labels))
+
+
+def enumerate_matches(graph: Graph, pattern: QueryGraph,
+                      conditions: PartialOrder | None = None,
+                      labels: "np.ndarray | None" = None
+                      ) -> Iterator[tuple[int, ...]]:
+    """Yield symmetry-broken matches: one ordered embedding per instance.
+
+    ``conditions`` defaults to :func:`~repro.query.symmetry.symmetry_break`
+    of the pattern.
+    """
+    if conditions is None:
+        conditions = symmetry_break(pattern)
+    for emb in enumerate_ordered_embeddings(graph, pattern, labels):
+        if all(emb[u] < emb[v] for u, v in conditions):
+            yield emb
+
+
+def count_matches(graph: Graph, pattern: QueryGraph,
+                  conditions: PartialOrder | None = None,
+                  labels: "np.ndarray | None" = None) -> int:
+    """Number of symmetry-broken matches."""
+    return sum(1 for _ in enumerate_matches(graph, pattern, conditions,
+                                            labels))
+
+
+def count_instances(graph: Graph, pattern: QueryGraph) -> int:
+    """Number of distinct subgraph instances (unordered), computed as
+    ``#ordered / |Aut|`` — a cross-check for the symmetry-breaking logic."""
+    ordered = count_ordered_embeddings(graph, pattern)
+    aut = automorphism_count(pattern)
+    if ordered % aut:
+        raise AssertionError(
+            f"ordered embeddings ({ordered}) not divisible by |Aut| ({aut})")
+    return ordered // aut

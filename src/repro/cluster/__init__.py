@@ -1,0 +1,18 @@
+"""Simulated distributed substrate: cost model, metrics, cluster, errors."""
+
+from .cost import CostModel
+from .errors import OutOfMemoryError, OvertimeError, PlanError, ReproError
+from .metrics import MachineMetrics, Metrics, RunReport
+from .cluster import Cluster
+
+__all__ = [
+    "CostModel",
+    "OutOfMemoryError",
+    "OvertimeError",
+    "PlanError",
+    "ReproError",
+    "MachineMetrics",
+    "Metrics",
+    "RunReport",
+    "Cluster",
+]

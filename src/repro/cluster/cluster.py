@@ -1,0 +1,156 @@
+"""The simulated shared-nothing cluster.
+
+``Cluster`` bundles a partitioned data graph, a cost model and the metrics
+ledger, and exposes the two communication primitives of the paper's
+architecture (§4.1):
+
+* **GetNbrs RPC** (:meth:`Cluster.get_nbrs`) — pulling communication: a
+  machine requests the adjacency lists of a batch of vertices from their
+  owners.  Requests are aggregated per owner (one message pair per owner
+  per call), which is exactly the RPC-batching effect Exp-4 measures.
+* **Router pushes** (:meth:`Cluster.push`) — pushing communication: a
+  machine ships a batch of partial-result tuples to a destination machine.
+
+All byte/message accounting flows into :class:`~repro.cluster.metrics.Metrics`.
+The cluster is single-process and deterministic; "machines" are indices.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.partition import PartitionedGraph
+from .cost import CostModel
+from .metrics import Metrics
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated ``k``-machine shared-nothing cluster.
+
+    Parameters
+    ----------
+    graph:
+        The data graph to partition across machines.
+    num_machines:
+        Cluster size ``k`` (paper default: 10-machine local cluster).
+    workers_per_machine:
+        Worker threads per machine (paper default: 4 in the local cluster).
+    cost:
+        The cost model converting counted work into simulated time.
+    seed:
+        Seed for the random vertex partitioning.
+    """
+
+    def __init__(self, graph: Graph, num_machines: int = 10,
+                 workers_per_machine: int = 4,
+                 cost: CostModel | None = None, seed: int = 0,
+                 labels: "np.ndarray | None" = None):
+        self.cost = cost or CostModel()
+        self.pgraph = PartitionedGraph(graph, num_machines, seed=seed)
+        self.metrics = Metrics(num_machines, workers_per_machine, self.cost)
+        self.num_machines = num_machines
+        self.workers_per_machine = workers_per_machine
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.int64)
+            if len(labels) != graph.num_vertices:
+                raise ValueError("need one label per vertex")
+            labels.setflags(write=False)
+        self.labels = labels
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        """The global data graph (planner use)."""
+        return self.pgraph.graph
+
+    def label_of(self, v: int) -> int | None:
+        """Label of data vertex ``v`` (``None`` on unlabelled graphs)."""
+        if self.labels is None:
+            return None
+        return int(self.labels[v])
+
+    def machine_of(self, v: int) -> int:
+        """Owner machine of vertex ``v``."""
+        return self.pgraph.owner_of(v)
+
+    def local_vertices(self, machine: int) -> np.ndarray:
+        """Vertices owned by ``machine``."""
+        return self.pgraph.local_vertices(machine)
+
+    def reset_metrics(self) -> None:
+        """Start a fresh metrics ledger (same cluster/partitioning)."""
+        self.metrics = Metrics(self.num_machines, self.workers_per_machine,
+                               self.cost)
+
+    # -- pulling: the GetNbrs RPC -----------------------------------------------
+
+    def get_nbrs(self, requester: int,
+                 vertices: Iterable[int]) -> dict[int, np.ndarray]:
+        """Fetch adjacency lists, pulling remote ones via batched RPC.
+
+        Vertices owned by ``requester`` are read locally for free; the rest
+        are grouped by owner and fetched with **one request/response pair
+        per owner** (the fetch-stage RPC aggregation of §4.4).  Returns a
+        mapping ``vertex -> sorted neighbour array`` (CSR views, zero-copy).
+        """
+        cost, metrics = self.cost, self.metrics
+        result: dict[int, np.ndarray] = {}
+        by_owner: dict[int, list[int]] = defaultdict(list)
+        for v in vertices:
+            v = int(v)
+            owner = self.pgraph.owner_of(v)
+            if owner == requester:
+                result[v] = self.pgraph.neighbours_local(v, requester)
+            else:
+                by_owner[owner].append(v)
+        for owner, vids in by_owner.items():
+            request_bytes = (cost.rpc_request_overhead_bytes
+                             + len(vids) * cost.bytes_per_id)
+            metrics.send(requester, owner, request_bytes, messages=1)
+            metrics.record_rpc(requester)
+            response_ids = 0
+            for v in vids:
+                nbrs = self.pgraph.neighbours_local(v, owner)
+                result[v] = nbrs
+                response_ids += 1 + len(nbrs)
+            metrics.send(owner, requester, response_ids * cost.bytes_per_id,
+                         messages=1)
+        return result
+
+    # -- pushing: the router ------------------------------------------------------
+
+    def push(self, src: int, dst: int, num_tuples: int, arity: int,
+             messages: int = 1) -> None:
+        """Account a pushed batch of ``num_tuples`` arity-``arity`` tuples."""
+        if num_tuples <= 0:
+            return
+        self.metrics.send(
+            src, dst, num_tuples * arity * self.cost.bytes_per_id, messages)
+
+    def shuffle_cost(self, src: int, destinations: Mapping[int, int],
+                     arity: int) -> None:
+        """Account a hash-shuffle: ``destinations[dst] = num_tuples``."""
+        for dst, count in destinations.items():
+            self.push(src, dst, count, arity)
+
+    # -- sizing helpers -------------------------------------------------------------
+
+    def tuple_bytes(self, arity: int) -> int:
+        """Wire/memory size of one arity-``arity`` partial-result tuple."""
+        return arity * self.cost.bytes_per_id
+
+    def graph_bytes(self) -> int:
+        """Approximate size of the whole data graph on the wire."""
+        g = self.pgraph.graph
+        return (2 * g.num_edges + g.num_vertices) * self.cost.bytes_per_id
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Cluster(k={self.num_machines}, "
+                f"w={self.workers_per_machine}, graph={self.pgraph.graph!r})")

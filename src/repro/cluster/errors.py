@@ -1,0 +1,35 @@
+"""Exceptions raised by the simulated runtime."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "OutOfMemoryError", "OvertimeError", "PlanError"]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro runtime."""
+
+
+class OutOfMemoryError(ReproError):
+    """A machine exceeded its memory budget — the paper's ``00M``."""
+
+    def __init__(self, machine: int, used: float, budget: float):
+        self.machine = machine
+        self.used = used
+        self.budget = budget
+        super().__init__(
+            f"machine {machine} out of memory: {used / 2**20:.1f} MiB used, "
+            f"budget {budget / 2**20:.1f} MiB")
+
+
+class OvertimeError(ReproError):
+    """Simulated elapsed time exceeded the time budget — the paper's ``0T``."""
+
+    def __init__(self, elapsed: float, budget: float):
+        self.elapsed = elapsed
+        self.budget = budget
+        super().__init__(
+            f"query overtime: simulated {elapsed:.1f}s exceeds budget {budget:.1f}s")
+
+
+class PlanError(ReproError):
+    """An execution plan is malformed or cannot be translated."""

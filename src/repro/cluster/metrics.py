@@ -1,0 +1,240 @@
+"""Runtime accounting: ops, bytes, messages, memory — and derived times.
+
+Every engine charges its work here.  The report mirrors the paper's
+metrics: total time ``T``, computation time ``T_R``, communication time
+``T_C = T − T_R``, total transferred volume ``C`` and peak per-machine
+memory ``M`` (Table 1), plus per-worker busy times for the load-balancing
+experiment (Exp-8) and cache hit rates for Exp-5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .cost import CostModel
+from .errors import OutOfMemoryError, OvertimeError
+
+__all__ = ["MachineMetrics", "Metrics", "RunReport"]
+
+
+@dataclass
+class MachineMetrics:
+    """Counters for one simulated machine."""
+
+    compute_ops: float = 0.0
+    direct_compute_s: float = 0.0  # e.g. external KV-store stalls
+    bytes_sent: int = 0
+    messages_sent: int = 0
+    bytes_received: int = 0
+    messages_received: int = 0
+    rpc_requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cur_mem_bytes: float = 0.0
+    peak_mem_bytes: float = 0.0
+    spilled_bytes: int = 0
+    steals: int = 0
+    worker_ops: list[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Summary of one query execution (the paper's T/T_R/T_C/C/M)."""
+
+    total_time_s: float
+    compute_time_s: float
+    comm_time_s: float
+    bytes_transferred: int
+    messages: int
+    peak_memory_bytes: float
+    cache_hit_rate: float
+    worker_time_stddev_s: float
+    aggregate_worker_time_s: float
+    network_utilisation: float
+    per_machine_time_s: tuple[float, ...]
+
+    @property
+    def comm_gb(self) -> float:
+        """Transferred volume in GB (the paper's ``C``)."""
+        return self.bytes_transferred / 1e9
+
+    @property
+    def peak_memory_gb(self) -> float:
+        """Peak per-machine memory in GB (the paper's ``M``)."""
+        return self.peak_memory_bytes / 1e9
+
+
+class Metrics:
+    """Cluster-wide accounting with budget enforcement."""
+
+    def __init__(self, num_machines: int, workers_per_machine: int,
+                 cost: CostModel):
+        if num_machines < 1 or workers_per_machine < 1:
+            raise ValueError("need at least one machine and one worker")
+        self.cost = cost
+        self.num_machines = num_machines
+        self.workers_per_machine = workers_per_machine
+        self.machines = [
+            MachineMetrics(worker_ops=[0.0] * workers_per_machine)
+            for _ in range(num_machines)
+        ]
+        self._extra_mem_bytes = 0.0  # constant overheads (cache capacity etc.)
+
+    # -- charging -------------------------------------------------------------
+
+    def charge_ops(self, machine: int, ops: float,
+                   worker: int | None = None) -> None:
+        """Charge weighted compute ops to a machine (and optionally to one
+        of its workers, for per-worker load statistics)."""
+        m = self.machines[machine]
+        m.compute_ops += ops
+        if worker is not None:
+            m.worker_ops[worker] += ops
+
+    def charge_worker_ops(self, machine: int, per_worker: list[float]) -> None:
+        """Charge a batch of per-worker op totals at once."""
+        m = self.machines[machine]
+        for w, ops in enumerate(per_worker):
+            m.worker_ops[w] += ops
+        m.compute_ops += sum(per_worker)
+
+    def charge_time(self, machine: int, seconds: float) -> None:
+        """Charge compute-side time directly (e.g. KV-store stalls)."""
+        self.machines[machine].direct_compute_s += seconds
+
+    def send(self, src: int, dst: int, num_bytes: int, messages: int = 1) -> None:
+        """Record a network transfer from ``src`` to ``dst``.
+
+        Local (``src == dst``) moves are free — data stays in-process.
+        """
+        if src == dst:
+            return
+        m = self.machines[src]
+        m.bytes_sent += num_bytes
+        m.messages_sent += messages
+        d = self.machines[dst]
+        d.bytes_received += num_bytes
+        d.messages_received += messages
+
+    def record_rpc(self, machine: int, requests: int = 1) -> None:
+        """Count RPC round trips issued by ``machine``."""
+        self.machines[machine].rpc_requests += requests
+
+    def record_cache(self, machine: int, hits: int = 0, misses: int = 0) -> None:
+        """Record cache hit/miss counts for a machine."""
+        m = self.machines[machine]
+        m.cache_hits += hits
+        m.cache_misses += misses
+
+    def record_steal(self, machine: int) -> None:
+        """Count one work-steal event initiated by ``machine``."""
+        self.machines[machine].steals += 1
+
+    def record_spill(self, machine: int, num_bytes: int) -> None:
+        """Record bytes spilled to disk by a buffered join."""
+        self.machines[machine].spilled_bytes += num_bytes
+
+    # -- memory ---------------------------------------------------------------
+
+    def alloc(self, machine: int, num_bytes: float) -> None:
+        """Allocate simulated memory; raises ``OutOfMemoryError`` over budget."""
+        m = self.machines[machine]
+        m.cur_mem_bytes += num_bytes
+        total = m.cur_mem_bytes + self._extra_mem_bytes
+        if total > m.peak_mem_bytes:
+            m.peak_mem_bytes = total
+        if total > self.cost.memory_budget_bytes:
+            raise OutOfMemoryError(machine, total, self.cost.memory_budget_bytes)
+
+    def free(self, machine: int, num_bytes: float) -> None:
+        """Release simulated memory."""
+        m = self.machines[machine]
+        m.cur_mem_bytes = max(0.0, m.cur_mem_bytes - num_bytes)
+
+    def reserve_constant(self, num_bytes: float) -> None:
+        """Add a constant per-machine overhead (cache capacity, buffers)."""
+        self._extra_mem_bytes += num_bytes
+        for i, m in enumerate(self.machines):
+            total = m.cur_mem_bytes + self._extra_mem_bytes
+            if total > m.peak_mem_bytes:
+                m.peak_mem_bytes = total
+            if total > self.cost.memory_budget_bytes:
+                raise OutOfMemoryError(i, total, self.cost.memory_budget_bytes)
+
+    # -- derived times ----------------------------------------------------------
+
+    def compute_time(self, machine: int) -> float:
+        """Simulated computation time ``T_R`` for one machine."""
+        m = self.machines[machine]
+        return self.cost.ops_to_seconds(m.compute_ops) + m.direct_compute_s
+
+    def comm_time(self, machine: int) -> float:
+        """Simulated communication time for one machine.
+
+        Both directions count: a machine receiving a skewed hash-shuffle
+        (all tuples of a hub join key) is bottlenecked on ingestion even
+        if it sends little — the receiver-side skew that makes pushing
+        systems' real communication time far worse than line rate.
+        """
+        m = self.machines[machine]
+        return self.cost.transfer_seconds(
+            m.bytes_sent + m.bytes_received,
+            m.messages_sent + m.messages_received)
+
+    def machine_time(self, machine: int) -> float:
+        """Total simulated time for one machine."""
+        return self.compute_time(machine) + self.comm_time(machine)
+
+    def elapsed(self) -> float:
+        """Cluster elapsed time = the slowest machine (shared-nothing)."""
+        return max(self.machine_time(i) for i in range(self.num_machines))
+
+    def check_time(self) -> None:
+        """Raise ``OvertimeError`` if the time budget is exhausted."""
+        elapsed = self.elapsed()
+        if elapsed > self.cost.time_budget_s:
+            raise OvertimeError(elapsed, self.cost.time_budget_s)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def report(self) -> RunReport:
+        """Snapshot the paper's metrics for the run so far."""
+        total = self.elapsed()
+        compute = max(self.compute_time(i) for i in range(self.num_machines))
+        comm = max(0.0, total - compute)
+        bytes_total = sum(m.bytes_sent for m in self.machines)
+        messages = sum(m.messages_sent for m in self.machines)
+        peak = max(m.peak_mem_bytes for m in self.machines)
+        hits = sum(m.cache_hits for m in self.machines)
+        misses = sum(m.cache_misses for m in self.machines)
+        hit_rate = hits / (hits + misses) if hits + misses else 0.0
+
+        worker_times = [
+            ops / self.cost.compute_rate
+            for m in self.machines for ops in m.worker_ops
+        ]
+        mean = sum(worker_times) / len(worker_times)
+        stddev = math.sqrt(
+            sum((t - mean) ** 2 for t in worker_times) / len(worker_times))
+
+        # Exp-4's network utilisation: share of communication time spent
+        # actually moving bytes (the rest is per-message latency).
+        wire = bytes_total / self.cost.bandwidth_bytes_per_s
+        lat = messages * self.cost.latency_s
+        utilisation = wire / (wire + lat) if (wire + lat) > 0 else 0.0
+
+        return RunReport(
+            total_time_s=total,
+            compute_time_s=compute,
+            comm_time_s=comm,
+            bytes_transferred=bytes_total,
+            messages=messages,
+            peak_memory_bytes=peak,
+            cache_hit_rate=hit_rate,
+            worker_time_stddev_s=stddev,
+            aggregate_worker_time_s=sum(worker_times),
+            network_utilisation=utilisation,
+            per_machine_time_s=tuple(
+                self.machine_time(i) for i in range(self.num_machines)),
+        )

@@ -1,0 +1,30 @@
+"""HUGE core: optimiser, hybrid dataflow operators, LRBU cache, adaptive
+scheduler, work stealing — the paper's primary contribution."""
+
+from .cache import CACHE_VARIANTS, CacheStats, LRBUCache, LRUCache, make_cache
+from .dataflow import ExtendSpec, JoinSpec, ScanSpec, Segment
+from .engine import EngineConfig, EnumerationResult, HugeEngine
+from .scheduler import SchedulerConfig, run_segment
+from .stealing import STEALING_MODES, distribute_to_workers, rebalance
+from . import plan
+
+__all__ = [
+    "CACHE_VARIANTS",
+    "CacheStats",
+    "LRBUCache",
+    "LRUCache",
+    "make_cache",
+    "ExtendSpec",
+    "JoinSpec",
+    "ScanSpec",
+    "Segment",
+    "EngineConfig",
+    "EnumerationResult",
+    "HugeEngine",
+    "SchedulerConfig",
+    "run_segment",
+    "STEALING_MODES",
+    "distribute_to_workers",
+    "rebalance",
+    "plan",
+]

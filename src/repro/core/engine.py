@@ -1,0 +1,184 @@
+"""The HUGE engine: plan → dataflow → scheduled execution on the cluster.
+
+This is the system's public entry point.  ``HugeEngine.run`` accepts a
+query (planned by Algorithm 1), a plugged-in logical plan (the HUGE-BENU /
+HUGE-RADS / HUGE-SEED / HUGE-WCO mode of Remark 3.2), or a pre-configured
+execution plan, and executes it with:
+
+* the pushing/pulling-hybrid operators of §4 (two-stage ``PULL-EXTEND``
+  over a per-machine LRBU cache; buffered ``PUSH-JOIN``);
+* the DFS/BFS-adaptive scheduler of §5 with its
+  ``O(|V_q|² · D_G)``-bounded queues;
+* two-layer work stealing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.cluster import Cluster
+from ..cluster.metrics import RunReport
+from ..query.estimate import CardinalityEstimator, SamplingEstimator
+from ..query.pattern import QueryGraph
+from .cache import CACHE_VARIANTS, make_cache
+from .dataflow import Segment
+from .operators import ExecContext, SinkConsumer, Tuple
+from .plan.logical import LogicalPlan
+from .plan.optimiser import Optimiser
+from .plan.physical import ExecutionPlan, configure_plan
+from .plan.translate import translate
+from .scheduler import SchedulerConfig, run_segment
+
+__all__ = ["EngineConfig", "EnumerationResult", "HugeEngine"]
+
+
+@dataclass
+class EngineConfig(SchedulerConfig):
+    """Engine knobs: scheduler settings plus cache configuration.
+
+    The paper's cluster-scale defaults (batch 512 K, queue 5·10⁷, cache 30%
+    of the data graph) are scaled to the stand-in graph sizes; the 30%
+    cache fraction is kept.
+    """
+
+    cache_variant: str = "lrbu"
+    """One of :data:`~repro.core.cache.CACHE_VARIANTS` (Table 5)."""
+
+    cache_capacity_fraction: float = 0.30
+    """Cache capacity as a fraction of the data-graph size (§7.1)."""
+
+    cache_capacity_ids: int | None = None
+    """Absolute capacity in vertex-id units; overrides the fraction."""
+
+    two_stage: bool | None = None
+    """Force the two-stage fetch/intersect strategy on or off; ``None``
+    follows the cache variant (Cncr-LRU disables it, everything else
+    enables it)."""
+
+    collect_results: bool = False
+    """Keep the matched tuples (tests); benchmarks count only."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cache_variant not in CACHE_VARIANTS:
+            raise ValueError(f"unknown cache variant {self.cache_variant!r}")
+        if not 0.0 <= self.cache_capacity_fraction <= 1.0:
+            raise ValueError("cache_capacity_fraction must be in [0, 1]")
+
+
+@dataclass
+class EnumerationResult:
+    """Outcome of one query execution."""
+
+    count: int
+    """Number of symmetry-broken matches (= subgraph instances)."""
+
+    report: RunReport
+    """The paper's T / T_R / T_C / C / M metrics."""
+
+    plan: ExecutionPlan
+    """The execution plan that ran."""
+
+    fetch_time_s: float
+    """Simulated time spent in PULL-EXTEND fetch stages (Table 5's t_f)."""
+
+    cache_hit_rate: float
+    """Fetch-stage cache hit rate (Exp-5)."""
+
+    matches: list[Tuple] | None = field(default=None, repr=False)
+    """Matches in query-vertex order, if collection was enabled."""
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Matches per simulated second (Exp-3 / Table 4)."""
+        if self.report.total_time_s <= 0:
+            return 0.0
+        return self.count / self.report.total_time_s
+
+
+class HugeEngine:
+    """The HUGE runtime bound to one simulated cluster."""
+
+    def __init__(self, cluster: Cluster, config: EngineConfig | None = None,
+                 estimator: CardinalityEstimator | None = None):
+        self.cluster = cluster
+        self.config = config or EngineConfig()
+        self.estimator = estimator or SamplingEstimator(cluster.graph)
+
+    # -- planning ------------------------------------------------------------------
+
+    def plan(self, query: QueryGraph) -> ExecutionPlan:
+        """Run Algorithm 1 for ``query`` on this cluster."""
+        opt = Optimiser(self.estimator, self.cluster.num_machines,
+                        self.cluster.graph.num_edges,
+                        avg_degree=self.cluster.graph.avg_degree)
+        return opt.run(query)
+
+    def _resolve_plan(self, query: QueryGraph | None,
+                      plan: ExecutionPlan | LogicalPlan | None) -> ExecutionPlan:
+        if isinstance(plan, ExecutionPlan):
+            return plan
+        if isinstance(plan, LogicalPlan):
+            return configure_plan(plan)
+        if query is None:
+            raise ValueError("need a query or a plan")
+        return self.plan(query)
+
+    # -- execution --------------------------------------------------------------------
+
+    def _cache_capacity_ids(self) -> int:
+        if self.config.cache_capacity_ids is not None:
+            return self.config.cache_capacity_ids
+        g = self.cluster.graph
+        graph_ids = 2 * g.num_edges + g.num_vertices
+        return max(1, int(self.config.cache_capacity_fraction * graph_ids))
+
+    def run(self, query: QueryGraph | None = None,
+            plan: ExecutionPlan | LogicalPlan | None = None,
+            reset_metrics: bool = True) -> EnumerationResult:
+        """Execute a subgraph-enumeration query.
+
+        Parameters
+        ----------
+        query:
+            The pattern; optional when ``plan`` is given.
+        plan:
+            An :class:`ExecutionPlan`, a :class:`LogicalPlan` (plug-in
+            mode: physical settings assigned by Equation 3), or ``None``
+            to plan with Algorithm 1.
+        reset_metrics:
+            Start a fresh metrics ledger (default) or accumulate.
+        """
+        exec_plan = self._resolve_plan(query, plan)
+        segment: Segment = translate(exec_plan)
+        if reset_metrics:
+            self.cluster.reset_metrics()
+
+        config = self.config
+        capacity = self._cache_capacity_ids()
+        caches = [
+            make_cache(config.cache_variant, capacity, self.cluster.cost,
+                       workers=self.cluster.workers_per_machine)
+            for _ in range(self.cluster.num_machines)
+        ]
+        two_stage = config.two_stage
+        if two_stage is None:
+            two_stage = caches[0].supports_two_stage
+        ctx = ExecContext(self.cluster, caches, two_stage, config.batch_size)
+        ctx.metrics.reserve_constant(capacity * self.cluster.cost.bytes_per_id)
+
+        sink = SinkConsumer(segment.out_schema, collect=config.collect_results)
+        run_segment(ctx, config, segment, sink)
+        ctx.metrics.check_time()
+
+        report = ctx.metrics.report()
+        hits = sum(c.stats.hits for c in caches)
+        misses = sum(c.stats.misses for c in caches)
+        return EnumerationResult(
+            count=sink.count,
+            report=report,
+            plan=exec_plan,
+            fetch_time_s=self.cluster.cost.ops_to_seconds(ctx.fetch_ops),
+            cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+            matches=sink.matches() if config.collect_results else None,
+        )

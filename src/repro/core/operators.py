@@ -1,0 +1,388 @@
+"""Runtime operators: SCAN, PULL-EXTEND, PUSH-JOIN, SINK (paper §4).
+
+Operators interpret the declarative specs of :mod:`repro.core.dataflow` on
+the simulated cluster.  All enumeration work is real — tuples are produced,
+intersected and filtered exactly — while compute ops, RPC bytes/messages
+and memory are charged to the metrics ledger.
+
+``PULL-EXTEND`` implements the two-stage execution strategy of Algorithm 4:
+a *fetch* stage that collects the batch's remote vertices, seals cached
+ones and pulls the misses with one aggregated ``GetNbrs`` RPC per owner,
+then an *intersect* stage that runs the multiway intersections against
+local adjacency and sealed cache entries (zero-copy reads).  Setting
+``two_stage=False`` (the Cncr-LRU ablation) degrades to per-miss RPCs
+issued from inside the intersect loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from .cache import LRBUCache, LRUCache
+from .dataflow import ExtendSpec, JoinSpec, ScanSpec
+
+__all__ = ["ExecContext", "ScanOp", "ExtendOp", "SinkConsumer", "JoinBuffer",
+           "join_stream", "Tuple"]
+
+Tuple = tuple[int, ...]
+Cache = LRBUCache | LRUCache
+
+
+class ExecContext:
+    """Shared execution state for one engine run."""
+
+    def __init__(self, cluster: Cluster, caches: Sequence[Cache],
+                 two_stage: bool, batch_size: int):
+        self.cluster = cluster
+        self.caches = list(caches)
+        self.two_stage = two_stage
+        self.batch_size = batch_size
+        self.metrics = cluster.metrics
+        self.cost = cluster.cost
+        #: per-vertex labels of the data graph (None for unlabelled)
+        self.labels = cluster.labels
+        #: total ops spent in fetch stages (Table 5's t_f)
+        self.fetch_ops = 0.0
+
+    def release_caches(self) -> None:
+        """Release all sealed cache entries (end of batch, Algorithm 4 l.20)."""
+        for cache in self.caches:
+            cache.release()
+
+
+class ScanOp:
+    """Edge SCAN: emits matches of a single query edge from the local
+    partition.  Input batches are lists of local pivot vertices."""
+
+    def __init__(self, spec: ScanSpec, ctx: ExecContext):
+        self.spec = spec
+        self.ctx = ctx
+        self.out_arity = 2
+
+    def process(self, machine: int,
+                pivots: Sequence[int]) -> tuple[list[Tuple], list[float], int]:
+        """Expand each pivot ``u`` into tuples ``(u, v)`` for its
+        neighbours ``v`` passing the symmetry order filter.
+
+        Pivots are normally local; pivots re-homed by inter-machine work
+        stealing are remote, and their adjacency is pulled with one
+        aggregated ``GetNbrs`` RPC for the chunk.
+        """
+        cost = self.ctx.cost
+        pg = self.ctx.cluster.pgraph
+        order = self.spec.order
+        labels = self.ctx.labels
+        pivot_label, nbr_label = self.spec.labels
+        remote = [int(u) for u in pivots if pg.owner_of(int(u)) != machine]
+        pulled = self.ctx.cluster.get_nbrs(machine, remote) if remote else {}
+        out: list[Tuple] = []
+        item_costs: list[float] = []
+        for u in pivots:
+            u = int(u)
+            if (pivot_label is not None and labels is not None
+                    and labels[u] != pivot_label):
+                item_costs.append(cost.scan_op)
+                continue
+            nbrs = pulled.get(u)
+            if nbrs is None:
+                nbrs = pg.neighbours_local(u, machine)
+            if order == "lt":
+                vs = nbrs[nbrs > u]
+            elif order == "gt":
+                vs = nbrs[nbrs < u]
+            else:
+                vs = nbrs
+            if nbr_label is not None and labels is not None:
+                vs = vs[labels[vs] == nbr_label]
+            for v in vs:
+                out.append((u, int(v)))
+            item_costs.append(len(nbrs) * cost.scan_op
+                              + len(vs) * 2 * cost.emit_op)
+        return out, item_costs, 0
+
+
+class ExtendOp:
+    """PULL-EXTEND (Algorithm 4): two-stage fetch + intersect."""
+
+    def __init__(self, spec: ExtendSpec, ctx: ExecContext):
+        self.spec = spec
+        self.ctx = ctx
+        self.out_arity = len(spec.out_schema)
+
+    # -- fetch stage --------------------------------------------------------------
+
+    def _fetch(self, machine: int, batch: Sequence[Tuple]) -> None:
+        """Collect the batch's remote extend vertices, seal hits, pull the
+        misses with one aggregated RPC per owner, insert + seal them."""
+        ctx = self.ctx
+        pg = ctx.cluster.pgraph
+        cache = ctx.caches[machine]
+        ext = self.spec.ext
+        remote: set[int] = set()
+        for f in batch:
+            for d in ext:
+                u = f[d]
+                if pg.owner_of(u) != machine:
+                    remote.add(u)
+        fetch: list[int] = []
+        hits = 0
+        for u in remote:
+            if cache.contains(u):
+                cache.seal(u)
+                hits += 1
+            else:
+                fetch.append(u)
+        if fetch:
+            fetched = ctx.cluster.get_nbrs(machine, fetch)
+            for u, nbrs in fetched.items():
+                cache.insert(u, nbrs)
+                cache.seal(u)
+        ctx.metrics.record_cache(machine, hits=hits, misses=len(fetch))
+        cache.stats.hits += hits
+        cache.stats.misses += len(fetch)
+        ops = (len(remote) * 2.0  # contains + seal bookkeeping
+               + sum(1 + len(ctx.cluster.pgraph.graph.neighbours(u))
+                     for u in fetch) * 0.5)  # single-writer inserts
+        ctx.metrics.charge_ops(machine, ops)
+        ctx.fetch_ops += ops
+
+    # -- intersect stage ------------------------------------------------------------
+
+    def _neighbour_list(self, machine: int, u: int,
+                        penalties: list[float]) -> np.ndarray | None:
+        """Adjacency of ``u``: local partition read, sealed cache read, or
+        (two-stage disabled) an on-demand per-miss RPC."""
+        ctx = self.ctx
+        pg = ctx.cluster.pgraph
+        if pg.owner_of(u) == machine:
+            return pg.neighbours_local(u, machine)
+        cache = ctx.caches[machine]
+        if cache.contains(u):
+            nbrs = cache.get(u)
+            penalties.append(cache.access_penalty(u))
+            if not ctx.two_stage:
+                # under two-stage execution the fetch stage already counted
+                # this vertex; only per-miss mode counts intersect reads
+                cache.stats.hits += 1
+                ctx.metrics.record_cache(machine, hits=1)
+            return nbrs
+        if ctx.two_stage:
+            # the fetch stage guarantees presence; reaching here means the
+            # entry was evicted mid-batch, which LRBU sealing forbids
+            raise AssertionError(
+                f"vertex {u} missing from cache during intersect stage")
+        fetched = ctx.cluster.get_nbrs(machine, [u])
+        nbrs = fetched[u]
+        cache.insert(u, nbrs)
+        penalties.append(cache.access_penalty(u))
+        cache.stats.misses += 1
+        ctx.metrics.record_cache(machine, misses=1)
+        return nbrs
+
+    def process(self, machine: int, batch: Sequence[Tuple],
+                count_only: bool = False
+                ) -> tuple[list[Tuple], list[float], int]:
+        """Run fetch + intersect for one batch.
+
+        Returns ``(output_tuples, per_input_tuple_costs, count)``.  With
+        ``count_only`` (the compression optimisation of [63], applied to
+        the final operator before the SINK) valid extensions are counted
+        without materialising tuples — only the count is returned.
+        """
+        ctx = self.ctx
+        cost = ctx.cost
+        spec = self.spec
+        counted = 0
+        if ctx.two_stage:
+            self._fetch(machine, batch)
+        out: list[Tuple] = []
+        item_costs: list[float] = []
+        for f in batch:
+            penalties: list[float] = []
+            lists: list[np.ndarray] = []
+            for d in spec.ext:
+                nbrs = self._neighbour_list(machine, f[d], penalties)
+                lists.append(nbrs)
+            lists.sort(key=len)
+            cand = lists[0]
+            for other in lists[1:]:
+                if len(cand) == 0:
+                    break
+                cand = np.intersect1d(cand, other, assume_unique=True)
+            ops = cost.intersection_ops([len(l) for l in lists]) + sum(penalties)
+            if (spec.new_label is not None and ctx.labels is not None
+                    and len(cand)):
+                cand = cand[ctx.labels[cand] == spec.new_label]
+
+            if spec.is_verify:
+                target = f[spec.verify_pos]
+                i = int(np.searchsorted(cand, target))
+                if i < len(cand) and cand[i] == target:
+                    if count_only:
+                        counted += 1
+                        ops += cost.emit_op
+                    else:
+                        out.append(f)
+                        ops += len(f) * cost.emit_op
+            else:
+                lt = spec.candidate_lt
+                gt = spec.candidate_gt
+                arity = len(f) + 1
+                for v in cand:
+                    v = int(v)
+                    if v in f:
+                        continue
+                    if any(v >= f[p] for p in lt):
+                        continue
+                    if any(v <= f[p] for p in gt):
+                        continue
+                    if count_only:
+                        counted += 1
+                        ops += cost.emit_op
+                    else:
+                        out.append(f + (v,))
+                        ops += arity * cost.emit_op
+            item_costs.append(ops)
+        if ctx.two_stage:
+            ctx.caches[machine].release()
+        return out, item_costs, counted
+
+
+class SinkConsumer:
+    """SINK: counts (and optionally collects) final results (§4.2)."""
+
+    def __init__(self, schema: tuple[int, ...], collect: bool = False):
+        self.schema = schema
+        self.collect = collect
+        self.count = 0
+        self.results: list[Tuple] = []
+
+    def consume(self, machine: int, batch: Sequence[Tuple]) -> None:
+        """Absorb one batch of final results."""
+        self.count += len(batch)
+        if self.collect:
+            self.results.extend(batch)
+
+    def consume_count(self, machine: int, n: int) -> None:
+        """Absorb a compressed (count-only) result contribution."""
+        self.count += n
+
+    def matches(self) -> list[Tuple]:
+        """Collected matches reordered to query-vertex order (f(0), f(1), …)."""
+        if not self.collect:
+            raise ValueError("sink was not collecting results")
+        perm = sorted(range(len(self.schema)), key=lambda i: self.schema[i])
+        return [tuple(f[i] for i in perm) for f in self.results]
+
+
+class JoinBuffer:
+    """One side of a buffered PUSH-JOIN (§4.3).
+
+    Consumes a segment's output, shuffles each tuple to the machine owning
+    its join key (hash partitioning via the router) and buffers it there.
+    When a machine's buffer exceeds the in-memory threshold the overflow is
+    externally sorted and spilled: memory stays bounded at the threshold
+    while sort ops and spilled bytes are charged.
+    """
+
+    def __init__(self, ctx: ExecContext, key_pos: tuple[int, ...],
+                 arity: int, buffer_tuples: int):
+        self.ctx = ctx
+        self.key_pos = key_pos
+        self.arity = arity
+        self.buffer_tuples = buffer_tuples
+        k = ctx.cluster.num_machines
+        self.partitions: list[list[Tuple]] = [[] for _ in range(k)]
+        self._in_memory = [0] * k
+        self.total = 0
+
+    def destination(self, f: Tuple) -> int:
+        """Machine owning the join key of ``f`` (hash partitioning)."""
+        return hash(tuple(f[p] for p in self.key_pos)) % len(self.partitions)
+
+    def consume(self, machine: int, batch: Sequence[Tuple]) -> None:
+        """Shuffle one batch into the per-machine buffers."""
+        ctx = self.ctx
+        cost = ctx.cost
+        counts: dict[int, int] = {}
+        for f in batch:
+            dest = self.destination(f)
+            self.partitions[dest].append(f)
+            counts[dest] = counts.get(dest, 0) + 1
+        self.total += len(batch)
+        tuple_bytes = self.arity * cost.bytes_per_id
+        for dest, n in counts.items():
+            ctx.cluster.push(machine, dest, n, self.arity)
+            ctx.metrics.alloc(dest, n * tuple_bytes)
+            self._in_memory[dest] += n
+            if self._in_memory[dest] > self.buffer_tuples:
+                spill = self._in_memory[dest] - self.buffer_tuples
+                # external merge sort of the spilled run, then write out
+                ctx.metrics.charge_ops(
+                    dest, spill * cost.sort_op * max(
+                        1.0, np.log2(max(2, spill))))
+                ctx.metrics.record_spill(dest, spill * tuple_bytes)
+                ctx.metrics.free(dest, spill * tuple_bytes)
+                self._in_memory[dest] = self.buffer_tuples
+
+    def release(self, machine: int) -> None:
+        """Free a machine's buffered memory after the join consumed it."""
+        cost = self.ctx.cost
+        self.ctx.metrics.free(
+            machine, self._in_memory[machine] * self.arity * cost.bytes_per_id)
+        self._in_memory[machine] = 0
+        self.partitions[machine] = []
+
+
+def join_stream(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
+                right: JoinBuffer, machine: int, batch_size: int):
+    """Local hash join of the two buffered sides on ``machine``.
+
+    Builds on the smaller side, probes with the larger, applies the
+    cross-side distinctness and symmetry filters, and yields output batches
+    of at most ``batch_size`` tuples.  Per-probe worker costs are returned
+    through the scheduler path (the caller charges them).
+    """
+    cost = ctx.cost
+    lpart = left.partitions[machine]
+    rpart = right.partitions[machine]
+    build_left = len(lpart) <= len(rpart)
+    build_side, probe_side = (lpart, rpart) if build_left else (rpart, lpart)
+    build_key, probe_key = ((spec.left_key, spec.right_key) if build_left
+                            else (spec.right_key, spec.left_key))
+
+    table: dict[Tuple, list[Tuple]] = {}
+    for f in build_side:
+        table.setdefault(tuple(f[p] for p in build_key), []).append(f)
+    ctx.metrics.charge_ops(machine, len(build_side) * cost.hash_build_op)
+
+    out: list[Tuple] = []
+    probe_ops = 0.0
+    out_arity = len(spec.out_schema)
+    for f in probe_side:
+        probe_ops += cost.hash_probe_op
+        bucket = table.get(tuple(f[p] for p in probe_key))
+        if not bucket:
+            continue
+        for g in bucket:
+            lf, rf = (g, f) if build_left else (f, g)
+            joined = lf + tuple(rf[p] for p in spec.right_carry)
+            if any(joined[i] == joined[j] for i, j in spec.cross_distinct):
+                continue
+            if any(joined[i] >= joined[j] for i, j in spec.cross_conditions):
+                continue
+            out.append(joined)
+            probe_ops += out_arity * cost.emit_op
+            if len(out) >= batch_size:
+                ctx.metrics.charge_ops(machine, probe_ops)
+                probe_ops = 0.0
+                yield out
+                out = []
+    ctx.metrics.charge_ops(machine, probe_ops)
+    if out:
+        yield out
+    left.release(machine)
+    right.release(machine)

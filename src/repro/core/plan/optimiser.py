@@ -1,0 +1,168 @@
+"""The dynamic-programming plan optimiser (paper Algorithm 1).
+
+Searches bushy join trees over star join units for the plan minimising
+*computation + communication* cost:
+
+* a join unit ``q'`` costs its cardinality ``|R(q')|``;
+* a join ``(q', q'_l, q'_r)`` costs ``cost(q'_l) + cost(q'_r) + |R(q')|``
+  plus a strategy-dependent extra term (for HUGE: the communication cost
+  of Algorithm 1 lines 7-9 — ``k·|E_G|`` when Equation 3 configures
+  pulling, else the shuffle volume ``|R(q'_l)| + |R(q'_r)|``).
+
+Cardinalities come from a pluggable estimator (§3.3 cites [46, 51, 58]);
+see :mod:`repro.query.estimate`.
+
+Cost strategies
+---------------
+``hybrid``
+    HUGE's own objective (communication-aware, Equation 3).
+``push-only``
+    Every join pays shuffle cost — the hash-join/pushing world SEED
+    optimises in.
+``compute-mat``
+    No communication terms: pure materialisation cost.  Approximates
+    EmptyHeaded's GHD-style sequential planning (Example 3.2).
+``compute-icost``
+    No communication, but joins pay CPU cost: a worst-case-optimal
+    extension pays the intersection cost ``d̄·|R(q'_l)|``, a binary join
+    pays build+probe ``|R(q'_l)| + |R(q'_r)|`` — approximating GraphFlow's
+    i-cost model [51].
+"""
+
+from __future__ import annotations
+
+from ...cluster.errors import PlanError
+from ...query.decompose import (SubQuery, connected_subqueries, full_subquery,
+                                is_complete_star_join, splits)
+from ...query.estimate import CardinalityEstimator
+from ...query.pattern import QueryGraph
+from .logical import LogicalPlan, PlanNode
+from .physical import CommMode, ExecutionPlan, configure_join, configure_plan
+
+__all__ = ["Optimiser", "optimal_plan", "COST_STRATEGIES"]
+
+#: Accepted cost strategies (see module docstring).
+COST_STRATEGIES = ("hybrid", "push-only", "compute-mat", "compute-icost")
+
+
+class Optimiser:
+    """Algorithm 1: ``OptimalExecutionPlan(q)``.
+
+    Parameters
+    ----------
+    estimator:
+        Cardinality estimator bound to the data graph.
+    num_machines:
+        Cluster size ``k`` (scales the pulling cost ``k·|E_G|``).
+    num_graph_edges:
+        ``|E_G|`` of the data graph.
+    cost_strategy:
+        One of :data:`COST_STRATEGIES`; ``hybrid`` is HUGE's own objective.
+    avg_degree:
+        ``d̄_G``, used by the ``compute-icost`` strategy.
+    """
+
+    def __init__(self, estimator: CardinalityEstimator, num_machines: int,
+                 num_graph_edges: int, cost_strategy: str = "hybrid",
+                 avg_degree: float = 0.0):
+        if cost_strategy not in COST_STRATEGIES:
+            raise ValueError(f"unknown cost strategy {cost_strategy!r}; "
+                             f"choose from {COST_STRATEGIES}")
+        self._estimator = estimator
+        self._k = num_machines
+        self._edges = num_graph_edges
+        self._strategy = cost_strategy
+        self._avg_degree = avg_degree
+        self._cost: dict[SubQuery, float] = {}
+        self._plan: dict[SubQuery, tuple[SubQuery, SubQuery] | None] = {}
+        self._card: dict[SubQuery, float] = {}
+
+    # -- cost pieces -------------------------------------------------------------
+
+    def cardinality(self, sub: SubQuery) -> float:
+        """Estimated ``|R(q')|`` (memoised)."""
+        cached = self._card.get(sub)
+        if cached is None:
+            pattern, _ = sub.to_query_graph()
+            cached = self._estimator.estimate(pattern)
+            self._card[sub] = cached
+        return cached
+
+    def _join_extra_cost(self, left: SubQuery, right: SubQuery) -> float:
+        shuffle = self.cardinality(left) + self.cardinality(right)
+        if self._strategy == "push-only":
+            return shuffle
+        if self._strategy == "compute-mat":
+            return 0.0
+        wco = (is_complete_star_join(left, right)
+               or is_complete_star_join(right, left))
+        if self._strategy == "compute-icost":
+            if wco:
+                small = min(self.cardinality(left), self.cardinality(right))
+                return self._avg_degree * small
+            return shuffle
+        # hybrid (Algorithm 1 lines 7-9)
+        setting, _ = configure_join(left, right)
+        if setting.comm is CommMode.PULLING:
+            # Remark 3.1 bounds pulling by the whole graph per machine
+            # (k·|E_G|); the data actually pulled is at most one adjacency
+            # list per partial result (d̄·|R(q'_l)|), so the tighter of the
+            # two is charged
+            touched = self._avg_degree * min(self.cardinality(left),
+                                             self.cardinality(right))
+            bound = float(self._k * self._edges)
+            return min(bound, touched) if self._avg_degree > 0 else bound
+        return shuffle
+
+    # -- the DP -------------------------------------------------------------------
+
+    def run_logical(self, query: QueryGraph,
+                    name: str = "huge-optimal") -> tuple[LogicalPlan, float]:
+        """Run the DP; return the best logical plan and its cost."""
+        if not query.is_connected() or query.num_vertices < 2:
+            raise PlanError(f"query {query.name} must be connected, |V| >= 2")
+        for sub in connected_subqueries(query):
+            # ascending edge count guarantees children are solved first
+            if sub.is_star():
+                self._cost[sub] = self.cardinality(sub)
+                self._plan[sub] = None
+                continue
+            best: float | None = None
+            best_split: tuple[SubQuery, SubQuery] | None = None
+            for left, right in splits(sub):
+                if left not in self._cost or right not in self._cost:
+                    continue
+                cost = (self._cost[left] + self._cost[right]
+                        + self.cardinality(sub)
+                        + self._join_extra_cost(left, right))
+                if best is None or cost < best:
+                    best, best_split = cost, (left, right)
+            if best is None:
+                raise PlanError(f"no decomposition found for {sub}")
+            self._cost[sub] = best
+            self._plan[sub] = best_split
+
+        full = full_subquery(query)
+        return (LogicalPlan(query, self._recover(full), name=name),
+                self._cost[full])
+
+    def run(self, query: QueryGraph) -> ExecutionPlan:
+        """Compute the optimal, physically configured execution plan."""
+        logical, cost = self.run_logical(query)
+        return configure_plan(logical, estimated_cost=cost)
+
+    def _recover(self, sub: SubQuery) -> PlanNode:
+        split = self._plan[sub]
+        if split is None:
+            return PlanNode(sub)
+        left, right = split
+        return PlanNode(sub, self._recover(left), self._recover(right))
+
+
+def optimal_plan(query: QueryGraph, estimator: CardinalityEstimator,
+                 num_machines: int, num_graph_edges: int,
+                 cost_strategy: str = "hybrid",
+                 avg_degree: float = 0.0) -> ExecutionPlan:
+    """Convenience wrapper: run Algorithm 1 once."""
+    return Optimiser(estimator, num_machines, num_graph_edges,
+                     cost_strategy, avg_degree).run(query)

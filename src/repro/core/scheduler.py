@@ -1,0 +1,379 @@
+"""The DFS/BFS-adaptive scheduler (paper Algorithm 5 and §5.4).
+
+Every operator owns a fixed-capacity output queue.  A scheduled operator
+consumes input batches until its output queue is full (then it *yields*
+and the successor is scheduled — BFS-style progress turning DFS-like under
+memory pressure) or its input is empty (then the scheduler backtracks to
+the precursor).  Shrinking the queue capacity toward zero degrades to pure
+DFS scheduling; growing it to infinity degrades to pure BFS — exactly the
+sweep of Exp-7 (Figure 9).
+
+``PUSH-JOIN`` is a global synchronisation barrier (§5.4): the two child
+segments run to completion into shuffled join buffers before the parent
+segment streams the join output through its own adaptive chain.
+
+Inter-machine work stealing (§5.3) re-homes queued batches from busy to
+idle machines before each scheduling round; intra-machine stealing is
+applied when attributing batch item costs to workers (see
+:mod:`repro.core.stealing`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..cluster.errors import PlanError
+from .dataflow import JoinSpec, ScanSpec, Segment
+from .operators import (ExecContext, ExtendOp, JoinBuffer, ScanOp,
+                        SinkConsumer, Tuple, join_stream)
+from .stealing import STEALING_MODES, distribute_to_workers, rebalance
+
+__all__ = ["SchedulerConfig", "run_segment"]
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of the adaptive scheduler and the pulling runtime."""
+
+    batch_size: int = 1024
+    """Tuples per batch — the minimum data processing unit (§4.2; the
+    paper's default is 512 K at cluster scale).  Larger batches aggregate
+    more GetNbrs requests per RPC (Exp-4)."""
+
+    output_queue_capacity: float = 16384
+    """Output-queue capacity in tuples (the paper's default is 5·10⁷).
+    ``0`` gives pure DFS scheduling, ``inf`` pure BFS (Exp-7)."""
+
+    scan_pivot_chunk: int = 64
+    """Pivot vertices per SCAN input chunk."""
+
+    stealing: str = "full"
+    """One of :data:`~repro.core.stealing.STEALING_MODES`."""
+
+    join_buffer_tuples: int = 1 << 16
+    """In-memory buffer threshold per machine per PUSH-JOIN side (§4.3)."""
+
+    steal_threshold: float = 3.0
+    """Inter-machine stealing triggers when the heaviest input channel
+    exceeds this multiple of the lightest (see
+    :func:`~repro.core.stealing.rebalance`)."""
+
+    def __post_init__(self) -> None:
+        if self.stealing not in STEALING_MODES:
+            raise ValueError(f"unknown stealing mode {self.stealing!r}; "
+                             f"choose from {STEALING_MODES}")
+        if self.batch_size < 1 or self.scan_pivot_chunk < 1:
+            raise ValueError("batch sizes must be positive")
+
+
+# -- source feeds -------------------------------------------------------------------
+
+
+class _ScanFeed:
+    """Pivot-vertex chunks per machine feeding an edge SCAN."""
+
+    def __init__(self, ctx: ExecContext, chunk: int):
+        k = ctx.cluster.num_machines
+        self.chunks: list[deque[list[int]]] = []
+        for m in range(k):
+            local = [int(v) for v in ctx.cluster.local_vertices(m)]
+            self.chunks.append(deque(
+                local[i:i + chunk] for i in range(0, len(local), chunk)))
+
+    def has_input(self, machine: int) -> bool:
+        return bool(self.chunks[machine])
+
+    def next_batch(self, machine: int) -> list[int]:
+        return self.chunks[machine].popleft()
+
+    def exhausted(self) -> bool:
+        return not any(self.chunks)
+
+
+class _JoinFeed:
+    """Streaming output of a PUSH-JOIN, one peekable generator per machine."""
+
+    def __init__(self, generators: Sequence[Iterator[list[Tuple]]]):
+        self._gens = list(generators)
+        self._peek: list[list[Tuple] | None] = [None] * len(self._gens)
+        self._done = [False] * len(self._gens)
+
+    def _fill(self, machine: int) -> None:
+        if self._peek[machine] is None and not self._done[machine]:
+            try:
+                self._peek[machine] = next(self._gens[machine])
+            except StopIteration:
+                self._done[machine] = True
+
+    def has_input(self, machine: int) -> bool:
+        self._fill(machine)
+        return self._peek[machine] is not None
+
+    def next_batch(self, machine: int) -> list[Tuple]:
+        self._fill(machine)
+        batch = self._peek[machine]
+        if batch is None:
+            raise IndexError(f"join feed exhausted on machine {machine}")
+        self._peek[machine] = None
+        return batch
+
+    def exhausted(self) -> bool:
+        return all(not self.has_input(m) for m in range(len(self._gens)))
+
+
+# -- the chain scheduler ---------------------------------------------------------------
+
+
+@dataclass
+class _Queue:
+    """One operator's per-machine input queue with tuple/byte accounting."""
+
+    batches: list[deque[list[Tuple]]]
+    tuples: list[int] = field(default_factory=list)
+
+    @classmethod
+    def empty(cls, k: int) -> "_Queue":
+        return cls([deque() for _ in range(k)], [0] * k)
+
+
+class _ChainRunner:
+    """Algorithm 5 over one segment's linear chain of operators."""
+
+    def __init__(self, ctx: ExecContext, config: SchedulerConfig,
+                 segment: Segment, consumer: SinkConsumer | JoinBuffer):
+        self.ctx = ctx
+        self.config = config
+        self.consumer = consumer
+        k = ctx.cluster.num_machines
+        self.k = k
+
+        if isinstance(segment.source, ScanSpec):
+            self.feed: _ScanFeed | _JoinFeed = _ScanFeed(
+                ctx, config.scan_pivot_chunk)
+            self.source_op: ScanOp | None = ScanOp(segment.source, ctx)
+        else:
+            raise PlanError("join segments must be started via run_segment")
+        self.extend_ops = [ExtendOp(spec, ctx) for spec in segment.extends]
+        # queues[i] is the input channel of extend i (the output queue of
+        # the operator before it); the chain is source -> extends -> consumer
+        self.queues = [_Queue.empty(k) for _ in self.extend_ops]
+        self.compress_final = self._can_compress_final()
+
+    @classmethod
+    def for_join(cls, ctx: ExecContext, config: SchedulerConfig,
+                 segment: Segment, consumer: SinkConsumer | JoinBuffer,
+                 feed: _JoinFeed) -> "_ChainRunner":
+        """Build a runner whose source is a PUSH-JOIN output stream."""
+        runner = object.__new__(cls)
+        runner.ctx = ctx
+        runner.config = config
+        runner.consumer = consumer
+        runner.k = ctx.cluster.num_machines
+        runner.feed = feed
+        runner.source_op = None
+        runner.extend_ops = [ExtendOp(spec, ctx) for spec in segment.extends]
+        runner.queues = [_Queue.empty(runner.k) for _ in runner.extend_ops]
+        runner.compress_final = runner._can_compress_final()
+        return runner
+
+    def _can_compress_final(self) -> bool:
+        """Whether the last operator may count instead of materialise (the
+        compression optimisation [63], §7.1): only into a non-collecting
+        SINK, and only when the chain ends in a PULL-EXTEND."""
+        return (isinstance(self.consumer, SinkConsumer)
+                and not self.consumer.collect
+                and bool(self.extend_ops))
+
+    # -- queue plumbing ----------------------------------------------------------
+
+    def _enqueue(self, level: int, machine: int, tuples: list[Tuple],
+                 arity: int) -> None:
+        """Append output tuples (re-batched) to a queue, charging memory."""
+        if not tuples:
+            return
+        q = self.queues[level]
+        size = self.config.batch_size
+        for i in range(0, len(tuples), size):
+            q.batches[machine].append(tuples[i:i + size])
+        q.tuples[machine] += len(tuples)
+        self.ctx.metrics.alloc(
+            machine, len(tuples) * arity * self.ctx.cost.bytes_per_id)
+
+    def _dequeue(self, level: int, machine: int, arity: int) -> list[Tuple]:
+        q = self.queues[level]
+        batch = q.batches[machine].popleft()
+        q.tuples[machine] -= len(batch)
+        self.ctx.metrics.free(
+            machine, len(batch) * arity * self.ctx.cost.bytes_per_id)
+        return batch
+
+    def _has_input(self, level: int) -> bool:
+        """Whether operator ``level`` has input anywhere (-1 = source)."""
+        if level < 0:
+            return any(self.feed.has_input(m) for m in range(self.k))
+        return any(self.queues[level].batches[m] for m in range(self.k))
+
+    # -- stealing ------------------------------------------------------------------
+
+    def _steal(self, level: int) -> None:
+        """Inter-machine stealing on the input channel of ``level``."""
+        mode = self.config.stealing
+        if mode == "none":
+            return
+        if mode == "region-group" and level >= 0:
+            return  # RGP only redistributes initial pivots
+        metrics = self.ctx.metrics
+        bytes_per_id = self.ctx.cost.bytes_per_id
+        threshold = self.config.steal_threshold
+        if level < 0:
+            if isinstance(self.feed, _ScanFeed):
+                moved: dict[tuple[int, int], int] = {}
+                for src, dst, chunk in rebalance(self.feed.chunks,
+                                                 threshold=threshold):
+                    moved[(src, dst)] = moved.get((src, dst), 0) + len(chunk)
+                    metrics.record_steal(dst)
+                for (src, dst), ids in moved.items():
+                    metrics.send(src, dst, ids * bytes_per_id)
+            return
+        q = self.queues[level]
+        arity = self._in_arity(level)
+        # one StealWork RPC moves a bulk of batches per (donor, thief) pair
+        moved = {}
+        for src, dst, batch in rebalance(q.batches, threshold=threshold):
+            q.tuples[src] -= len(batch)
+            q.tuples[dst] += len(batch)
+            nbytes = len(batch) * arity * bytes_per_id
+            metrics.free(src, nbytes)
+            metrics.alloc(dst, nbytes)
+            moved[(src, dst)] = moved.get((src, dst), 0) + nbytes
+            metrics.record_steal(dst)
+        for (src, dst), nbytes in moved.items():
+            metrics.send(src, dst, nbytes)
+
+    # -- scheduling ---------------------------------------------------------------------
+
+    def _schedule(self, level: int) -> None:
+        """Run operator ``level`` on every machine until its output queue
+        fills or its input empties (the inner loop of Algorithm 5)."""
+        ctx = self.ctx
+        cost = ctx.cost
+        metrics = ctx.metrics
+        config = self.config
+        stealing_workers = config.stealing == "full"
+        workers = ctx.cluster.workers_per_machine
+        last = len(self.extend_ops) - 1
+
+        for m in range(self.k):
+            metrics.charge_ops(m, cost.sched_switch_op)
+        self._steal(level)
+
+        for m in range(self.k):
+            while True:
+                if level < 0:
+                    if not self.feed.has_input(m):
+                        break
+                else:
+                    if not self.queues[level].batches[m]:
+                        break
+                # yield when the output queue is already at capacity
+                if level < last:
+                    if self.queues[level + 1].tuples[m] >= \
+                            config.output_queue_capacity:
+                        break
+
+                counted = 0
+                if level < 0:
+                    payload = self.feed.next_batch(m)
+                    if not payload:
+                        pivot = 0
+                    elif isinstance(payload[0], tuple):
+                        pivot = int(payload[0][0])  # join output tuples
+                    else:
+                        pivot = int(payload[0])     # scan pivot chunk
+                    if self.source_op is not None:
+                        out, item_costs, counted = self.source_op.process(
+                            m, payload)
+                        out_arity = 2
+                    else:
+                        out = payload  # join output is already tuples
+                        item_costs = []
+                        out_arity = len(out[0]) if out else 0
+                else:
+                    op = self.extend_ops[level]
+                    batch = self._dequeue(level, m, self._in_arity(level))
+                    # without stealing, work sticks to the worker that owns
+                    # the batch's firstly matched (pivot) vertex (§5.3)
+                    pivot = int(batch[0][0]) if batch else 0
+                    count_only = level == last and self.compress_final
+                    out, item_costs, counted = op.process(
+                        m, batch, count_only=count_only)
+                    out_arity = op.out_arity
+
+                if item_costs:
+                    per_worker = distribute_to_workers(
+                        item_costs, workers, stealing_workers,
+                        assign_key=pivot)
+                    metrics.charge_worker_ops(m, per_worker)
+                metrics.charge_ops(m, cost.batch_overhead_op)
+
+                if level < last:
+                    self._enqueue(level + 1, m, out, out_arity)
+                elif counted and not out:
+                    self.consumer.consume_count(m, counted)
+                else:
+                    self.consumer.consume(m, out)
+        metrics.check_time()
+
+    def _in_arity(self, level: int) -> int:
+        """Arity of tuples entering extend ``level``."""
+        spec = self.extend_ops[level].spec
+        if spec.is_verify:
+            return len(spec.out_schema)
+        return len(spec.out_schema) - 1
+
+    def run(self) -> None:
+        """Drive the chain to completion (the outer loop of Algorithm 5)."""
+        last = len(self.extend_ops) - 1
+        cur = -1  # -1 = the source operator
+        while True:
+            if not self._has_input(cur):
+                if cur > -1:
+                    cur -= 1
+                    continue
+                # source exhausted: jump forward to the first loaded operator
+                pending = [i for i in range(len(self.extend_ops))
+                           if self._has_input(i)]
+                if not pending:
+                    break
+                cur = pending[0]
+                continue
+            self._schedule(cur)
+            if cur < last:
+                cur += 1
+            # at the last operator the sink consumed everything; the next
+            # iteration's input check backtracks (Algorithm 5 line 10)
+
+
+def run_segment(ctx: ExecContext, config: SchedulerConfig, segment: Segment,
+                consumer: SinkConsumer | JoinBuffer) -> None:
+    """Execute a segment tree: children (PUSH-JOIN sides) first, then the
+    segment's own chain (§5.4's topological order over the join DAG)."""
+    if isinstance(segment.source, JoinSpec):
+        assert segment.left is not None and segment.right is not None
+        spec = segment.source
+        lbuf = JoinBuffer(ctx, spec.left_key, len(segment.left.out_schema),
+                          config.join_buffer_tuples)
+        run_segment(ctx, config, segment.left, lbuf)
+        rbuf = JoinBuffer(ctx, spec.right_key, len(segment.right.out_schema),
+                          config.join_buffer_tuples)
+        run_segment(ctx, config, segment.right, rbuf)
+        feed = _JoinFeed([
+            join_stream(ctx, spec, lbuf, rbuf, m, config.batch_size)
+            for m in range(ctx.cluster.num_machines)
+        ])
+        runner = _ChainRunner.for_join(ctx, config, segment, consumer, feed)
+    else:
+        runner = _ChainRunner(ctx, config, segment, consumer)
+    runner.run()

@@ -1,0 +1,114 @@
+"""Two-layer work stealing (paper §5.3).
+
+*Intra-machine*: each worker owns a deque of partial results; idle workers
+steal half from the front of a random busy deque.  In the simulation,
+work-item costs are known once the batch is processed, so stealing is
+modelled by its steady-state effect: near-perfect balancing of item costs
+across the machine's workers (LPT assignment), while disabled stealing
+assigns contiguous chunks — preserving the skew the paper observes when
+load is distributed "based on the firstly matched vertex".
+
+*Inter-machine*: a machine that exhausts its own input steals unprocessed
+batches from the input channel of the top-most unfinished operator of a
+busy machine (the ``StealWork`` RPC), paying the transfer bytes.  The
+``region-group`` mode (the HUGE-RGP ablation of Exp-8) only redistributes
+at the initial SCAN level, as RADS' static region groups do.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Sequence, TypeVar
+
+__all__ = ["STEALING_MODES", "chunked_distribution",
+           "distribute_to_workers", "rebalance"]
+
+#: Accepted stealing modes: full two-layer stealing, none (HUGE-NOSTL),
+#: or scan-level-only region groups (HUGE-RGP).
+STEALING_MODES = ("full", "none", "region-group")
+
+T = TypeVar("T")
+
+
+def distribute_to_workers(item_costs: Sequence[float], workers: int,
+                          stealing: bool, assign_key: int = 0) -> list[float]:
+    """Split a batch's per-item costs across ``workers``.
+
+    With stealing, items land on the currently least-loaded worker
+    (longest-processing-time greedy — the steady state of steal-half
+    deques).  Without stealing, work is "distributed based on the firstly
+    matched vertex" (paper §5.3): ``assign_key`` — the batch's pivot
+    vertex — picks the worker, so every batch descending from a hub pivot
+    lands on the same worker.  That is the skew Exp-8 measures for
+    HUGE-NOSTL.
+    """
+    totals = [0.0] * workers
+    if not item_costs:
+        return totals
+    if workers == 1:
+        totals[0] = float(sum(item_costs))
+        return totals
+    if stealing:
+        heap = [(0.0, w) for w in range(workers)]
+        heapq.heapify(heap)
+        for cost in sorted(item_costs, reverse=True):
+            load, w = heapq.heappop(heap)
+            load += cost
+            totals[w] = load
+            heapq.heappush(heap, (load, w))
+    else:
+        totals[assign_key % workers] = float(sum(item_costs))
+    return totals
+
+
+def chunked_distribution(item_costs: Sequence[float],
+                         workers: int) -> list[float]:
+    """Assign contiguous chunks of a whole task list to workers — how
+    BENU/RADS statically pre-partition work by pivot-vertex ranges."""
+    totals = [0.0] * workers
+    if not item_costs:
+        return totals
+    chunk = (len(item_costs) + workers - 1) // workers
+    for i, cost in enumerate(item_costs):
+        totals[min(i // chunk, workers - 1)] += cost
+    return totals
+
+
+def rebalance(queues: list[deque[T]], weight=len,
+              threshold: float = 3.0) -> list[tuple[int, int, T]]:
+    """Inter-machine stealing: move work off severely overloaded machines.
+
+    ``queues[m]`` is machine ``m``'s input channel for the operator being
+    scheduled; ``weight`` measures a batch (default: its tuple count).
+    Stealing in the paper only happens when a machine *finishes* its own
+    job, so in steady state batches move only under real skew: a transfer
+    happens while the heaviest machine holds more than ``threshold×`` the
+    lightest machine's load (plus the batch).  Donors keep at least one
+    batch.  Returns the moves performed as ``(src, dst, batch)``; the
+    batches are already re-homed in ``queues``.
+    """
+    k = len(queues)
+    if k < 2:
+        return []
+    loads = [sum(weight(b) for b in q) for q in queues]
+    if sum(loads) == 0:
+        return []
+    moves: list[tuple[int, int, T]] = []
+    # bounded sweep: move the heaviest queue's front batch to the lightest
+    # machine while the skew exceeds the stealing threshold
+    for _ in range(16 * k):
+        donor = max(range(k), key=loads.__getitem__)
+        thief = min(range(k), key=loads.__getitem__)
+        if donor == thief or len(queues[donor]) < 2:
+            break
+        batch = queues[donor][0]
+        w = weight(batch)
+        if loads[donor] - w < threshold * (loads[thief] + w):
+            break  # skew not severe enough to pay the transfer
+        queues[donor].popleft()
+        queues[thief].append(batch)
+        loads[donor] -= w
+        loads[thief] += w
+        moves.append((donor, thief, batch))
+    return moves

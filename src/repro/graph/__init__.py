@@ -1,0 +1,22 @@
+"""Graph substrate: CSR storage, builders, generators, partitioning, I/O."""
+
+from .graph import Graph
+from .builder import GraphBuilder
+from .partition import PartitionedGraph, hash_partition
+from .datasets import DATASETS, DatasetSpec, dataset_table, load_dataset
+from .io import load_edge_list, save_edge_list
+from . import generators
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "PartitionedGraph",
+    "hash_partition",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_table",
+    "load_dataset",
+    "load_edge_list",
+    "save_edge_list",
+    "generators",
+]

@@ -1,0 +1,77 @@
+"""Incremental construction of :class:`~repro.graph.graph.Graph`.
+
+``GraphBuilder`` accumulates edges (deduplicating, dropping self-loops) and
+optionally relabels arbitrary hashable vertex names to dense integer IDs.
+It is the ingestion path used by the file loaders in :mod:`repro.graph.io`
+and by tests that assemble small graphs by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from .graph import Graph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulate undirected edges and produce an immutable :class:`Graph`.
+
+    Parameters
+    ----------
+    relabel:
+        When true (default), vertex names may be arbitrary hashable values
+        and are assigned dense integer IDs in first-seen order.  When false,
+        vertices must already be non-negative integers.
+    """
+
+    def __init__(self, relabel: bool = True):
+        self._relabel = relabel
+        self._ids: dict[Hashable, int] = {}
+        self._edges: set[tuple[int, int]] = set()
+        self._max_id = -1
+
+    def _vertex_id(self, name: Hashable) -> int:
+        if self._relabel:
+            vid = self._ids.get(name)
+            if vid is None:
+                vid = len(self._ids)
+                self._ids[name] = vid
+        else:
+            vid = int(name)  # type: ignore[arg-type]
+            if vid < 0:
+                raise ValueError(f"vertex id must be non-negative, got {vid}")
+        self._max_id = max(self._max_id, vid)
+        return vid
+
+    def add_vertex(self, name: Hashable) -> int:
+        """Register an (possibly isolated) vertex; returns its integer ID."""
+        return self._vertex_id(name)
+
+    def add_edge(self, u: Hashable, v: Hashable) -> "GraphBuilder":
+        """Add the undirected edge ``(u, v)``; self-loops are ignored."""
+        ui, vi = self._vertex_id(u), self._vertex_id(v)
+        if ui != vi:
+            self._edges.add((min(ui, vi), max(ui, vi)))
+        return self
+
+    def add_edges(self, edges: Iterable[tuple[Hashable, Hashable]]) -> "GraphBuilder":
+        """Add many undirected edges."""
+        for u, v in edges:
+            self.add_edge(u, v)
+        return self
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct undirected edges added so far."""
+        return len(self._edges)
+
+    @property
+    def vertex_ids(self) -> dict[Hashable, int]:
+        """Mapping of original vertex names to assigned IDs (relabel mode)."""
+        return dict(self._ids)
+
+    def build(self) -> Graph:
+        """Materialise the accumulated edges as an immutable CSR graph."""
+        return Graph.from_edges(self._edges, num_vertices=self._max_id + 1)

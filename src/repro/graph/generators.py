@@ -1,0 +1,203 @@
+"""Synthetic graph generators.
+
+The paper evaluates on seven real-world graphs (Table 3) spanning three
+families: social networks (LJ, OR, FS — heavy-tailed degree, high
+clustering), web graphs (GO, UK, CW — extreme hub vertices), and a road
+network (EU — near-uniform low degree).  The generators below produce
+scaled-down graphs with the same degree character so the benchmark harness
+can reproduce the *shape* of the paper's results:
+
+* :func:`erdos_renyi` — uniform random baseline.
+* :func:`barabasi_albert` — preferential attachment; power-law tail like
+  the social graphs.
+* :func:`power_law_cluster` — preferential attachment with triad closure,
+  adding the clustering that drives clique-query cost.
+* :func:`hub_web` — a web-graph analogue with a small set of very
+  high-degree hubs on top of a sparse background (UK's ``d_max`` is ~12000×
+  its ``d_avg``; CW's ~1.7M×).
+* :func:`road_grid` — 2D lattice with random perturbations; max degree ≈ 4
+  as in EU-road.
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "power_law_cluster",
+    "hub_web",
+    "road_grid",
+    "complete_graph",
+    "star_graph",
+    "cycle_graph",
+    "path_graph",
+]
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """G(n, p) uniform random graph."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    iu = np.triu_indices(n, k=1)
+    mask = rng.random(len(iu[0])) < p
+    edges = np.stack([iu[0][mask], iu[1][mask]], axis=1)
+    return Graph.from_edges(map(tuple, edges), num_vertices=n)
+
+
+def barabasi_albert(n: int, m: int, seed: int = 0) -> Graph:
+    """Barabási–Albert preferential attachment: each new vertex attaches to
+    ``m`` existing vertices chosen proportional to degree.
+
+    Produces the power-law degree tail characteristic of social graphs.
+    """
+    if m < 1 or n < m + 1:
+        raise ValueError(f"need n > m >= 1, got n={n}, m={m}")
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    # repeated-nodes list: each vertex appears once per incident edge,
+    # so uniform sampling from it is degree-proportional sampling.
+    repeated: list[int] = list(range(m + 1))
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            edges.append((u, v))
+            repeated.extend((u, v))
+    for u in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(repeated[rng.integers(len(repeated))])
+        for v in targets:
+            edges.append((u, v))
+            repeated.extend((u, v))
+    return Graph.from_edges(edges, num_vertices=n)
+
+
+def power_law_cluster(n: int, m: int, triad_p: float = 0.5, seed: int = 0) -> Graph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like :func:`barabasi_albert` but after each preferential attachment,
+    with probability ``triad_p`` the next link closes a triangle with a
+    neighbour of the previous target.  High clustering makes clique and
+    near-clique queries (q3 and friends) produce realistic result volumes.
+    """
+    if not 0.0 <= triad_p <= 1.0:
+        raise ValueError(f"triad_p must be in [0, 1], got {triad_p}")
+    if m < 1 or n < m + 1:
+        raise ValueError(f"need n > m >= 1, got n={n}, m={m}")
+    rng = np.random.default_rng(seed)
+    adj: list[set[int]] = [set() for _ in range(n)]
+    repeated: list[int] = list(range(m + 1))
+
+    def link(a: int, b: int) -> None:
+        if a != b and b not in adj[a]:
+            adj[a].add(b)
+            adj[b].add(a)
+            repeated.extend((a, b))
+
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            link(u, v)
+    for u in range(m + 1, n):
+        added = 0
+        last_target = -1
+        while added < m:
+            if last_target >= 0 and rng.random() < triad_p and adj[last_target]:
+                # triad closure: connect to a random neighbour of the
+                # previous target, forming a triangle.
+                cand = list(adj[last_target])
+                v = cand[rng.integers(len(cand))]
+            else:
+                v = repeated[rng.integers(len(repeated))]
+            if v != u and v not in adj[u]:
+                link(u, v)
+                last_target = v
+                added += 1
+    edges = [(u, v) for u in range(n) for v in adj[u] if u < v]
+    return Graph.from_edges(edges, num_vertices=n)
+
+
+def hub_web(n: int, num_hubs: int, hub_degree: int, background_m: int = 2,
+            seed: int = 0) -> Graph:
+    """Web-graph analogue: a sparse power-law background plus ``num_hubs``
+    vertices wired to ``hub_degree`` random vertices each.
+
+    Reproduces the extreme ``d_max / d_avg`` skew of UK and CW, which is
+    what stresses load balancing (Exp-8) and makes static heuristics OOM.
+    """
+    if num_hubs >= n:
+        raise ValueError("num_hubs must be smaller than n")
+    if hub_degree >= n:
+        raise ValueError("hub_degree must be smaller than n")
+    rng = np.random.default_rng(seed)
+    base = barabasi_albert(n, background_m, seed=seed)
+    edges = list(base.edges())
+    hubs = rng.choice(n, size=num_hubs, replace=False)
+    for h in hubs:
+        targets = rng.choice(n, size=hub_degree, replace=False)
+        for t in targets:
+            if int(t) != int(h):
+                edges.append((int(h), int(t)))
+    return Graph.from_edges(edges, num_vertices=n)
+
+
+def road_grid(rows: int, cols: int, extra_p: float = 0.02, drop_p: float = 0.05,
+              seed: int = 0) -> Graph:
+    """Road-network analogue: a ``rows × cols`` lattice with a few random
+    shortcut edges added and a few lattice edges dropped.
+
+    Max degree stays tiny (EU-road has ``d_max = 20``), so pulling-based
+    plans touch very few remote vertices per partial result.
+    """
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols and rng.random() >= drop_p:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows and rng.random() >= drop_p:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    num_extra = int(extra_p * n)
+    for _ in range(num_extra):
+        u, v = rng.integers(n), rng.integers(n)
+        if u != v:
+            edges.append((int(u), int(v)))
+    return Graph.from_edges(edges, num_vertices=n)
+
+
+# -- tiny deterministic shapes (useful for tests and docs) ------------------
+
+def complete_graph(n: int) -> Graph:
+    """K_n."""
+    return Graph.from_edges(
+        [(u, v) for u in range(n) for v in range(u + 1, n)], num_vertices=n)
+
+
+def star_graph(leaves: int) -> Graph:
+    """A star with vertex 0 as the root and ``leaves`` leaf vertices."""
+    return Graph.from_edges([(0, i) for i in range(1, leaves + 1)],
+                            num_vertices=leaves + 1)
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    return Graph.from_edges([(i, (i + 1) % n) for i in range(n)],
+                            num_vertices=n)
+
+
+def path_graph(n: int) -> Graph:
+    """P_n: a simple path on ``n`` vertices."""
+    return Graph.from_edges([(i, i + 1) for i in range(n - 1)],
+                            num_vertices=n)

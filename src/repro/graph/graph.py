@@ -1,0 +1,183 @@
+"""Compressed-sparse-row (CSR) graph storage.
+
+The data graph in HUGE is an unlabelled, undirected, simple graph stored in
+CSR format (paper §7.1: "we partition and store the data graph in the
+compressed sparse row (CSR) format and keep them in-memory").  Vertices are
+dense integer IDs ``0 .. n-1``; each adjacency list is sorted ascending so
+that set intersections (the inner loop of worst-case-optimal joins) can be
+computed by linear merges, and membership tests by binary search.
+
+``Graph`` is immutable after construction.  Neighbour access returns a
+read-only numpy *view* into the CSR ``indices`` array — no copy is made,
+mirroring the zero-copy design goal of the paper's cache layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable undirected graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        CSR row-pointer array of length ``n + 1``.
+    indices:
+        CSR column-index array; ``indices[indptr[u]:indptr[u+1]]`` are the
+        neighbours of ``u``, sorted ascending.
+
+    Use :func:`Graph.from_edges` (or :mod:`repro.graph.builder`) to build a
+    graph from an edge list rather than calling the constructor directly.
+    """
+
+    __slots__ = ("_indptr", "_indices")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if len(indptr) == 0 or indptr[0] != 0 or indptr[-1] != len(indices):
+            raise ValueError("malformed CSR: bad indptr bounds")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("malformed CSR: indptr must be non-decreasing")
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
+        self._indptr = indptr
+        self._indices = indices
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[int, int]], num_vertices: int | None = None
+    ) -> "Graph":
+        """Build a graph from an iterable of undirected edges.
+
+        Self-loops are dropped and duplicate edges collapsed.  If
+        ``num_vertices`` is not given it is inferred as ``max id + 1``.
+        """
+        pairs = np.asarray(
+            [(u, v) for (u, v) in edges if u != v], dtype=np.int64
+        ).reshape(-1, 2)
+        if pairs.size:
+            both = np.vstack([pairs, pairs[:, ::-1]])
+            both = np.unique(both, axis=0)
+            src, dst = both[:, 0], both[:, 1]
+            n = int(both.max()) + 1
+        else:
+            src = dst = np.empty(0, dtype=np.int64)
+            n = 0
+        if num_vertices is not None:
+            if num_vertices < n:
+                raise ValueError(
+                    f"num_vertices={num_vertices} smaller than max id + 1 = {n}"
+                )
+            n = num_vertices
+        counts = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # `both` is sorted lexicographically by (src, dst), so dst is already
+        # grouped by src with each group ascending — exactly CSR order.
+        return cls(indptr, dst)
+
+    @classmethod
+    def empty(cls, num_vertices: int = 0) -> "Graph":
+        """A graph with ``num_vertices`` vertices and no edges."""
+        return cls(np.zeros(num_vertices + 1, dtype=np.int64),
+                   np.empty(0, dtype=np.int64))
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return len(self._indices) // 2
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """The CSR row-pointer array (read-only)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """The CSR column-index array (read-only)."""
+        return self._indices
+
+    def degree(self, u: int) -> int:
+        """Degree of vertex ``u``."""
+        return int(self._indptr[u + 1] - self._indptr[u])
+
+    def neighbours(self, u: int) -> np.ndarray:
+        """Sorted neighbours of ``u`` as a read-only view (zero-copy)."""
+        return self._indices[self._indptr[u]:self._indptr[u + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists (binary search)."""
+        if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+            return False
+        nbrs = self.neighbours(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < len(nbrs) and nbrs[i] == v
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree ``D_G``."""
+        if self.num_vertices == 0:
+            return 0
+        return int(np.max(np.diff(self._indptr)))
+
+    @property
+    def avg_degree(self) -> float:
+        """Average degree ``d̄_G``."""
+        if self.num_vertices == 0:
+            return 0.0
+        return len(self._indices) / self.num_vertices
+
+    def degrees(self) -> np.ndarray:
+        """Array of all vertex degrees."""
+        return np.diff(self._indptr)
+
+    # -- iteration ----------------------------------------------------------
+
+    def vertices(self) -> range:
+        """Iterate vertex IDs ``0 .. n-1``."""
+        return range(self.num_vertices)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in self.vertices():
+            for v in self.neighbours(u):
+                if u < v:
+                    yield u, int(v)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Graph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+                f"D={self.max_degree})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (np.array_equal(self._indptr, other._indptr)
+                and np.array_equal(self._indices, other._indices))
+
+    def __hash__(self) -> int:
+        return hash((self._indptr.tobytes(), self._indices.tobytes()))

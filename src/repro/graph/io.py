@@ -1,0 +1,57 @@
+"""Edge-list file I/O.
+
+Real deployments load SNAP/WebGraph-style edge lists; the loaders here
+accept the common "one edge per line, whitespace- or comma-separated,
+``#``-comments" format used by the SNAP datasets the paper downloads.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+from .builder import GraphBuilder
+from .graph import Graph
+
+__all__ = ["load_edge_list", "save_edge_list"]
+
+
+def _parse_stream(stream: TextIO, relabel: bool) -> Graph:
+    builder = GraphBuilder(relabel=relabel)
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.replace(",", " ").split()
+        if len(parts) < 2:
+            raise ValueError(f"line {lineno}: expected two vertex ids, got {line!r}")
+        u, v = parts[0], parts[1]
+        if relabel:
+            builder.add_edge(u, v)
+        else:
+            builder.add_edge(int(u), int(v))
+    return builder.build()
+
+
+def load_edge_list(path: str | os.PathLike, relabel: bool = True) -> Graph:
+    """Load an undirected graph from an edge-list text file.
+
+    Parameters
+    ----------
+    path:
+        File with one edge per line; ``#`` or ``%`` lines are comments.
+    relabel:
+        When true, vertex tokens may be arbitrary strings and are assigned
+        dense IDs in first-seen order; when false they must be integers and
+        are used as-is.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        return _parse_stream(f, relabel)
+
+
+def save_edge_list(graph: Graph, path: str | os.PathLike) -> None:
+    """Write each undirected edge once as ``u v`` per line."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(f"# |V|={graph.num_vertices} |E|={graph.num_edges}\n")
+        for u, v in graph.edges():
+            f.write(f"{u} {v}\n")

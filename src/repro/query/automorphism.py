@@ -1,0 +1,87 @@
+"""Automorphism enumeration for small query graphs.
+
+An automorphism is an isomorphism from a graph to itself (paper §2).  The
+automorphism group ``Aut(q)`` drives symmetry breaking: a subgraph instance
+has exactly ``|Aut(q)|`` ordered matches, and the symmetry-breaking partial
+order (see :mod:`repro.query.symmetry`) keeps exactly one of them.
+
+Queries have ≤ ~8 vertices so a plain backtracking search with degree
+pruning is ample.
+"""
+
+from __future__ import annotations
+
+from .pattern import QueryGraph
+
+__all__ = ["automorphisms", "automorphism_count", "orbits"]
+
+
+def automorphisms(q: QueryGraph) -> list[tuple[int, ...]]:
+    """Enumerate all automorphisms of ``q``.
+
+    Each automorphism is returned as a tuple ``perm`` with
+    ``perm[v] = image of v``.  The identity is always included.
+    """
+    n = q.num_vertices
+    degrees = [q.degree(v) for v in range(n)]
+    result: list[tuple[int, ...]] = []
+    image: list[int] = [-1] * n
+    used = [False] * n
+
+    def backtrack(v: int) -> None:
+        if v == n:
+            result.append(tuple(image))
+            return
+        for cand in range(n):
+            if used[cand] or degrees[cand] != degrees[v]:
+                continue
+            if q.label(cand) != q.label(v):
+                continue
+            ok = True
+            for w in range(v):
+                if q.has_edge(v, w) != q.has_edge(cand, image[w]):
+                    ok = False
+                    break
+            if ok:
+                image[v] = cand
+                used[cand] = True
+                backtrack(v + 1)
+                used[cand] = False
+                image[v] = -1
+
+    backtrack(0)
+    return result
+
+
+def automorphism_count(q: QueryGraph) -> int:
+    """``|Aut(q)|``."""
+    return len(automorphisms(q))
+
+
+def orbits(q: QueryGraph,
+           group: list[tuple[int, ...]] | None = None) -> list[frozenset[int]]:
+    """Vertex orbits under the automorphism group (or a subgroup).
+
+    Two vertices are in the same orbit when some automorphism maps one to
+    the other.  Orbits are returned sorted by their smallest member.
+    """
+    if group is None:
+        group = automorphisms(q)
+    n = q.num_vertices
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for perm in group:
+        for v in range(n):
+            a, b = find(v), find(perm[v])
+            if a != b:
+                parent[max(a, b)] = min(a, b)
+    groups: dict[int, set[int]] = {}
+    for v in range(n):
+        groups.setdefault(find(v), set()).add(v)
+    return sorted((frozenset(s) for s in groups.values()), key=min)

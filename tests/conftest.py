@@ -1,0 +1,44 @@
+"""Shared fixtures: small graphs, clusters, engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, CostModel
+from repro.graph import generators as gen
+
+
+@pytest.fixture(scope="session")
+def er_graph():
+    """A small Erdős–Rényi graph with plenty of structure."""
+    return gen.erdos_renyi(40, 0.2, seed=3)
+
+
+@pytest.fixture(scope="session")
+def ba_graph():
+    """A small scale-free graph (mild skew)."""
+    return gen.barabasi_albert(80, 3, seed=4)
+
+
+@pytest.fixture(scope="session")
+def plc_graph():
+    """A clustered power-law graph (triangles and cliques exist)."""
+    return gen.power_law_cluster(70, 4, triad_p=0.7, seed=5)
+
+
+@pytest.fixture()
+def cluster(er_graph):
+    """A fresh 4-machine cluster over the ER graph."""
+    return Cluster(er_graph, num_machines=4, workers_per_machine=4, seed=1)
+
+
+@pytest.fixture()
+def ba_cluster(ba_graph):
+    """A fresh 4-machine cluster over the BA graph."""
+    return Cluster(ba_graph, num_machines=4, workers_per_machine=4, seed=1)
+
+
+@pytest.fixture()
+def cost():
+    """A default cost model."""
+    return CostModel()

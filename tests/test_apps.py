@@ -1,0 +1,139 @@
+"""Tests for the §6 applications, validated against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.apps import (connected_patterns, count_st_paths,
+                        enumerate_st_paths, frequent_patterns, motif_counts,
+                        shortest_path, shortest_path_lengths)
+from repro.cluster import Cluster
+from repro.graph import generators as gen
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.barabasi_albert(100, 3, seed=6)
+
+
+@pytest.fixture(scope="module")
+def nxg(graph):
+    return nx.Graph(list(graph.edges()))
+
+
+@pytest.fixture()
+def app_cluster(graph):
+    return Cluster(graph, num_machines=4, workers_per_machine=2, seed=2)
+
+
+class TestShortestPath:
+    def test_matches_networkx_lengths(self, app_cluster, nxg):
+        for target in (10, 50, 99):
+            path = shortest_path(app_cluster, 0, target)
+            assert len(path) - 1 == nx.shortest_path_length(nxg, 0, target)
+
+    def test_path_is_valid_walk(self, app_cluster, graph):
+        path = shortest_path(app_cluster, 3, 77)
+        for a, b in zip(path, path[1:]):
+            assert graph.has_edge(a, b)
+
+    def test_trivial_path(self, app_cluster):
+        assert shortest_path(app_cluster, 5, 5) == [5]
+
+    def test_unreachable_within_hops(self, app_cluster, nxg):
+        far = max(nx.single_source_shortest_path_length(nxg, 0).items(),
+                  key=lambda kv: kv[1])
+        if far[1] >= 2:
+            assert shortest_path(app_cluster, 0, far[0],
+                                 max_hops=far[1] - 1) is None
+
+    def test_disconnected_returns_none(self):
+        from repro.graph import Graph
+
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        cl = Cluster(g, num_machines=2)
+        assert shortest_path(cl, 0, 3) is None
+
+    def test_out_of_range(self, app_cluster):
+        with pytest.raises(ValueError):
+            shortest_path(app_cluster, 0, 10_000)
+
+    def test_lengths_match_networkx(self, app_cluster, nxg):
+        ours = shortest_path_lengths(app_cluster, 0)
+        theirs = dict(nx.single_source_shortest_path_length(nxg, 0))
+        assert ours == theirs
+
+    def test_charges_communication(self, app_cluster):
+        shortest_path_lengths(app_cluster, 0)
+        total = sum(m.bytes_sent
+                    for m in app_cluster.metrics.machines)
+        assert total > 0
+
+
+class TestHopConstrainedPaths:
+    @pytest.mark.parametrize("hops", [1, 2, 3, 4])
+    def test_matches_networkx(self, app_cluster, nxg, hops):
+        ours = enumerate_st_paths(app_cluster, 0, 9, hops)
+        theirs = sorted(tuple(p)
+                        for p in nx.all_simple_paths(nxg, 0, 9, cutoff=hops))
+        assert ours == theirs
+
+    def test_count(self, app_cluster, nxg):
+        assert count_st_paths(app_cluster, 2, 8, 3) == len(
+            list(nx.all_simple_paths(nxg, 2, 8, cutoff=3)))
+
+    def test_zero_hops(self, app_cluster):
+        assert enumerate_st_paths(app_cluster, 1, 2, 0) == []
+
+    def test_same_endpoints(self, app_cluster):
+        assert enumerate_st_paths(app_cluster, 4, 4, 3) == [(4,)]
+
+    def test_paths_are_simple(self, app_cluster):
+        for p in enumerate_st_paths(app_cluster, 0, 20, 4):
+            assert len(set(p)) == len(p)
+
+    def test_invalid_args(self, app_cluster):
+        with pytest.raises(ValueError):
+            enumerate_st_paths(app_cluster, 0, 1, -1)
+        with pytest.raises(ValueError):
+            enumerate_st_paths(app_cluster, 0, 99999, 2)
+
+
+class TestMining:
+    def test_connected_patterns_size3(self):
+        pats = connected_patterns(3)
+        assert len(pats) == 2  # wedge + triangle
+
+    def test_connected_patterns_size4(self):
+        assert len(connected_patterns(4)) == 6
+
+    def test_connected_patterns_size5(self):
+        assert len(connected_patterns(5)) == 21
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            connected_patterns(1)
+        with pytest.raises(ValueError):
+            connected_patterns(6)
+
+    def test_motif_counts_match_reference(self, app_cluster, graph):
+        from repro.baselines import count_matches
+
+        counts = motif_counts(app_cluster, 3)
+        pats = {p.name: p for p in connected_patterns(3)}
+        for name, count in counts.items():
+            assert count == count_matches(graph, pats[name])
+
+    def test_frequent_patterns_threshold(self, app_cluster):
+        found = frequent_patterns(app_cluster, max_size=3, min_support=1)
+        assert all(count >= 1 for _, count in found)
+        # the single edge pattern is always found on a non-empty graph
+        assert any(p.num_vertices == 2 for p, _ in found)
+
+    def test_frequent_patterns_high_threshold_empty_tail(self, app_cluster):
+        found = frequent_patterns(app_cluster, max_size=4,
+                                  min_support=10 ** 9)
+        assert found == []
+
+    def test_frequent_invalid_size(self, app_cluster):
+        with pytest.raises(ValueError):
+            frequent_patterns(app_cluster, max_size=1, min_support=1)

@@ -1,0 +1,97 @@
+"""Budget enforcement: the paper's 00M and 0T outcomes."""
+
+import pytest
+
+from repro.baselines import (BenuEngine, BigJoinEngine, RadsEngine,
+                             SeedEngine)
+from repro.cluster import (Cluster, CostModel, OutOfMemoryError,
+                           OvertimeError)
+from repro.core import EngineConfig, HugeEngine
+from repro.graph import generators as gen
+from repro.query import get_query
+
+
+@pytest.fixture(scope="module")
+def hub_graph():
+    """A graph with strong hubs — the star-explosion trigger."""
+    return gen.hub_web(400, num_hubs=3, hub_degree=150, seed=3)
+
+
+def tight_cluster(graph, memory_mb=None, time_s=None, k=4):
+    cost = CostModel(
+        memory_budget_bytes=(memory_mb * 1e6 if memory_mb else float("inf")),
+        time_budget_s=(time_s if time_s is not None else float("inf")))
+    return Cluster(graph, num_machines=k, workers_per_machine=4, cost=cost,
+                   seed=1)
+
+
+class TestOOM:
+    def test_seed_ooms_on_star_explosion(self, hub_graph):
+        """SEED materialises 3-stars of the diamond's plan → 00M under a
+        tight budget (the paper's Exp-2 SEED failures)"""
+        cl = tight_cluster(hub_graph, memory_mb=0.5)
+        with pytest.raises(OutOfMemoryError):
+            SeedEngine(cl).run(get_query("q2"))
+
+    def test_rads_ooms_on_star_explosion(self, hub_graph):
+        cl = tight_cluster(hub_graph, memory_mb=0.5)
+        with pytest.raises(OutOfMemoryError):
+            RadsEngine(cl).run(get_query("q2"))
+
+    def test_bigjoin_ooms_despite_batching(self, hub_graph):
+        """§5.1: static batching lacks a tight bound — a single batch can
+        explode on hub vertices"""
+        cl = tight_cluster(hub_graph, memory_mb=0.2)
+        with pytest.raises(OutOfMemoryError):
+            BigJoinEngine(cl, edge_batch=1 << 20).run(get_query("q6"))
+
+    def test_huge_completes_under_same_budget(self, hub_graph):
+        """the adaptive scheduler keeps HUGE inside the budget that kills
+        SEED/RADS (Table 1 / Exp-2's completion-rate story)"""
+        cl = tight_cluster(hub_graph, memory_mb=0.5)
+        cfg = EngineConfig(output_queue_capacity=512,
+                           cache_capacity_ids=2000)
+        result = HugeEngine(cl, cfg).run(get_query("q2"))
+        assert result.count > 0
+
+    def test_benu_completes_under_tiny_budget(self, hub_graph):
+        """DFS needs almost no memory"""
+        cl = tight_cluster(hub_graph, memory_mb=0.5)
+        result = BenuEngine(cl, cache_capacity_fraction=0.05).run(
+            get_query("q2"))
+        assert result.count > 0
+
+    def test_oom_error_carries_context(self, hub_graph):
+        cl = tight_cluster(hub_graph, memory_mb=0.5)
+        try:
+            SeedEngine(cl).run(get_query("q2"))
+            pytest.fail("expected OutOfMemoryError")
+        except OutOfMemoryError as e:
+            assert e.used > e.budget
+            assert 0 <= e.machine < 4
+
+
+class TestOvertime:
+    def test_benu_overtime(self, hub_graph):
+        """the KV-store stalls blow a small time budget"""
+        cl = tight_cluster(hub_graph, time_s=0.05)
+        with pytest.raises(OvertimeError):
+            BenuEngine(cl).run(get_query("q2"))
+
+    def test_huge_within_same_time_budget(self, hub_graph):
+        cl = tight_cluster(hub_graph, time_s=2.0)
+        result = HugeEngine(cl).run(get_query("q2"))
+        assert result.report.total_time_s <= 2.0
+
+    def test_overtime_error_fields(self, hub_graph):
+        cl = tight_cluster(hub_graph, time_s=0.01)
+        try:
+            BenuEngine(cl).run(get_query("q1"))
+            pytest.fail("expected OvertimeError")
+        except OvertimeError as e:
+            assert e.elapsed > e.budget
+
+    def test_huge_overtime_detected(self, hub_graph):
+        cl = tight_cluster(hub_graph, time_s=1e-6)
+        with pytest.raises(OvertimeError):
+            HugeEngine(cl).run(get_query("q1"))

@@ -1,0 +1,199 @@
+"""Tests for the LRBU cache and ablation variants (paper Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CostModel
+from repro.core import CACHE_VARIANTS, LRBUCache, LRUCache, make_cache
+
+
+def arr(*vals):
+    return np.asarray(vals, dtype=np.int64)
+
+
+@pytest.fixture()
+def cost():
+    return CostModel()
+
+
+class TestLRBUBasics:
+    def test_insert_get_contains(self, cost):
+        c = LRBUCache(100, cost)
+        c.insert(5, arr(1, 2, 3))
+        assert c.contains(5)
+        assert list(c.get(5)) == [1, 2, 3]
+        assert not c.contains(6)
+
+    def test_get_returns_reference_not_copy(self, cost):
+        """zero-copy: the stored array object itself is returned"""
+        c = LRBUCache(100, cost)
+        data = arr(1, 2)
+        c.insert(1, data)
+        assert c.get(1) is data
+
+    def test_size_tracking(self, cost):
+        c = LRBUCache(100, cost)
+        c.insert(1, arr(1, 2, 3))   # 4 ids
+        c.insert(2, arr(9))         # 2 ids
+        assert c.size_ids == 6
+        assert len(c) == 2
+
+    def test_duplicate_insert_ignored(self, cost):
+        c = LRBUCache(100, cost)
+        c.insert(1, arr(1, 2))
+        c.insert(1, arr(9, 9, 9))
+        assert list(c.get(1)) == [1, 2]
+        assert c.size_ids == 3
+
+    def test_plain_lrbu_has_no_access_penalty(self, cost):
+        c = LRBUCache(100, cost)
+        c.insert(1, arr(1, 2, 3))
+        assert c.access_penalty(1) == 0.0
+
+
+class TestLRBUEviction:
+    def test_evicts_least_recent_batch_first(self, cost):
+        c = LRBUCache(6, cost)
+        # batch 1: vertices 1, 2
+        c.insert(1, arr(7))
+        c.seal(1)
+        c.insert(2, arr(8))
+        c.seal(2)
+        c.release()
+        # batch 2: vertex 3
+        c.insert(3, arr(9))
+        c.seal(3)
+        c.release()
+        # cache now 6/6 full; inserting evicts batch-1 entries first
+        c.insert(4, arr(1))
+        assert not c.contains(1)    # oldest batch evicted
+        assert c.contains(3)
+
+    def test_sealed_entries_never_evicted(self, cost):
+        c = LRBUCache(4, cost)
+        c.insert(1, arr(1))
+        c.seal(1)
+        c.insert(2, arr(2))
+        c.seal(2)
+        # full + everything sealed: next insert overflows but evicts nothing
+        c.insert(3, arr(3))
+        assert c.contains(1) and c.contains(2) and c.contains(3)
+        assert c.size_ids > c.capacity_ids
+        assert c.num_sealed == 3  # insert pins the new entry too
+
+    def test_overflow_bounded_by_batch(self, cost):
+        """the invariant of §4.4: overflow ≤ remote vertices of one batch"""
+        c = LRBUCache(10, cost)
+        batch = [(i, arr(i)) for i in range(10, 16)]  # 6 entries of 2 ids
+        for vid, nbrs in batch:
+            c.insert(vid, nbrs)
+            c.seal(vid)
+        # capacity 10, sealed size 12 → overflow 2 ≤ one batch (12 ids)
+        assert c.stats.max_overflow_ids <= sum(len(n) + 1 for _, n in batch)
+        c.release()
+        # after release the next insert can evict back under capacity
+        c.insert(99, arr(1, 2, 3))
+        assert c.size_ids <= 10
+
+    def test_release_orders_after_existing(self, cost):
+        c = LRBUCache(4, cost)
+        c.insert(1, arr(1))
+        c.seal(1)
+        c.release()            # free order: [1]
+        c.insert(2, arr(2))
+        c.seal(2)
+        c.release()            # free order: [1, 2]
+        c.insert(3, arr(3))    # evicts 1 (smallest order), not 2
+        assert not c.contains(1)
+        assert c.contains(2)
+
+    def test_eviction_counted(self, cost):
+        c = LRBUCache(2, cost)
+        c.insert(1, arr(1))
+        c.seal(1)
+        c.release()
+        c.insert(2, arr(2))
+        assert c.stats.evictions == 1
+
+    def test_unbounded_cache_never_evicts(self, cost):
+        c = LRBUCache(None, cost)
+        for i in range(100):
+            c.insert(i, arr(i))
+        assert len(c) == 100
+        assert c.stats.evictions == 0
+
+    def test_seal_of_missing_vertex_harmless(self, cost):
+        c = LRBUCache(10, cost)
+        c.seal(42)
+        c.release()  # vertex 42 was never inserted; must not appear
+        assert not c.contains(42)
+
+
+class TestAblationVariants:
+    def test_variant_names(self):
+        assert set(CACHE_VARIANTS) == {"lrbu", "lrbu-copy", "lrbu-lock",
+                                       "lru-inf", "cncr-lru"}
+
+    def test_make_cache_unknown(self, cost):
+        with pytest.raises(ValueError):
+            make_cache("bogus", 10, cost)
+
+    def test_penalty_ordering(self, cost):
+        """LRBU < LRBU-Copy < LRBU-Lock < LRU penalties (Table 5)"""
+        nbrs = arr(*range(50))
+        penalties = {}
+        for name in CACHE_VARIANTS:
+            c = make_cache(name, 1000, cost, workers=4)
+            c.insert(1, nbrs)
+            penalties[name] = c.access_penalty(1)
+        assert penalties["lrbu"] == 0.0
+        assert penalties["lrbu"] < penalties["lrbu-copy"]
+        assert penalties["lrbu-copy"] < penalties["lrbu-lock"]
+        assert penalties["lrbu-lock"] < penalties["lru-inf"]
+        assert penalties["lru-inf"] < penalties["cncr-lru"]
+
+    def test_lru_inf_is_unbounded(self, cost):
+        c = make_cache("lru-inf", 10, cost)
+        for i in range(50):
+            c.insert(i, arr(i))
+        assert len(c) == 50
+
+    def test_cncr_lru_disables_two_stage(self, cost):
+        assert make_cache("cncr-lru", 10, cost).supports_two_stage is False
+        assert make_cache("lrbu", 10, cost).supports_two_stage is True
+        assert make_cache("lru-inf", 10, cost).supports_two_stage is True
+
+
+class TestLRUCache:
+    def test_lru_eviction_order(self, cost):
+        c = LRUCache(4, cost)
+        c.insert(1, arr(1))
+        c.insert(2, arr(2))
+        c.get(1)               # touch 1 → 2 becomes LRU
+        c.insert(3, arr(3))    # evicts 2
+        assert c.contains(1)
+        assert not c.contains(2)
+
+    def test_seal_release_are_noops(self, cost):
+        c = LRUCache(4, cost)
+        c.insert(1, arr(1))
+        c.seal(1)
+        c.release()
+        assert c.contains(1)
+
+    def test_reinsert_moves_to_back(self, cost):
+        c = LRUCache(4, cost)
+        c.insert(1, arr(1))
+        c.insert(2, arr(2))
+        c.insert(1, arr(1))    # refresh
+        c.insert(3, arr(3))    # evicts 2
+        assert c.contains(1) and not c.contains(2)
+
+    def test_stats_hit_rate(self, cost):
+        c = LRUCache(4, cost)
+        c.stats.hits = 3
+        c.stats.misses = 1
+        assert c.stats.hit_rate == pytest.approx(0.75)
+
+    def test_empty_stats(self, cost):
+        assert LRUCache(4, cost).stats.hit_rate == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "--data", "GO"])
+        args.func  # bound
+        assert args.pattern == "triangle"
+        assert args.machines == 4
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--data", "GO", "--pattern", "q99"])
+
+
+class TestCommands:
+    def test_query_counts(self, capsys):
+        assert main(["query", "--data", "GO", "--pattern", "triangle",
+                     "--machines", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "matches:" in out
+        assert "simulated time" in out
+
+    def test_query_show_matches(self, capsys):
+        main(["query", "--data", "GO", "--pattern", "triangle",
+              "--machines", "2", "--show", "2"])
+        out = capsys.readouterr().out
+        assert out.count("(") >= 2
+
+    def test_query_cypher(self, capsys):
+        main(["query", "--data", "GO", "--machines", "2", "--cypher",
+              "MATCH (a)--(b)--(c), (c)--(a) RETURN count(*)"])
+        out = capsys.readouterr().out
+        assert "matches:" in out
+
+    def test_query_edge_list_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 0\n2 3\n")
+        main(["query", "--data", str(path), "--pattern", "triangle",
+              "--machines", "2"])
+        assert "matches: 1" in capsys.readouterr().out
+
+    def test_plan(self, capsys):
+        main(["plan", "--data", "GO", "--pattern", "q1"])
+        out = capsys.readouterr().out
+        assert "ExecutionPlan" in out
+        assert "symmetry order" in out
+
+    def test_datasets(self, capsys):
+        main(["datasets"])
+        out = capsys.readouterr().out
+        for name in ("GO", "LJ", "CW"):
+            assert name in out
+
+    def test_motifs(self, capsys):
+        main(["motifs", "--data", "GO", "--k", "3", "--machines", "2"])
+        out = capsys.readouterr().out
+        assert "motif3-0" in out and "motif3-1" in out

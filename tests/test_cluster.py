@@ -1,0 +1,193 @@
+"""Tests for the simulated cluster substrate (cost, metrics, RPC)."""
+
+import pytest
+
+from repro.cluster import (Cluster, CostModel, Metrics, OutOfMemoryError,
+                           OvertimeError)
+
+
+class TestCostModel:
+    def test_defaults_positive(self, cost):
+        assert cost.compute_rate > 0
+        assert cost.bandwidth_bytes_per_s > 0
+
+    def test_with_overrides(self, cost):
+        c2 = cost.with_overrides(compute_rate=1.0)
+        assert c2.compute_rate == 1.0
+        assert cost.compute_rate != 1.0  # original untouched
+
+    def test_ops_to_seconds(self, cost):
+        assert cost.ops_to_seconds(cost.compute_rate) == pytest.approx(1.0)
+
+    def test_transfer_seconds(self, cost):
+        t = cost.transfer_seconds(cost.bandwidth_bytes_per_s, 0)
+        assert t == pytest.approx(1.0)
+        assert cost.transfer_seconds(0, 10) == pytest.approx(
+            10 * cost.latency_s)
+
+    def test_intersection_single_list(self, cost):
+        assert cost.intersection_ops([100]) == pytest.approx(
+            100 * cost.intersect_op)
+
+    def test_intersection_galloping_asymmetry(self, cost):
+        # intersecting small×huge must cost ~small·log(huge), not ~huge
+        small_huge = cost.intersection_ops([10, 100000])
+        assert small_huge < 10 * 20 * cost.intersect_op
+        assert small_huge < cost.intersection_ops([100000])
+
+    def test_intersection_empty(self, cost):
+        assert cost.intersection_ops([]) == 0.0
+
+    def test_intersection_monotone_in_lists(self, cost):
+        assert (cost.intersection_ops([10, 50, 50])
+                > cost.intersection_ops([10, 50]))
+
+
+class TestMetrics:
+    def test_charge_ops_accumulates(self, cost):
+        m = Metrics(2, 2, cost)
+        m.charge_ops(0, 100.0)
+        m.charge_ops(0, 50.0)
+        assert m.machines[0].compute_ops == 150.0
+
+    def test_worker_attribution(self, cost):
+        m = Metrics(1, 4, cost)
+        m.charge_worker_ops(0, [10.0, 20.0, 30.0, 40.0])
+        assert m.machines[0].worker_ops == [10.0, 20.0, 30.0, 40.0]
+        assert m.machines[0].compute_ops == 100.0
+
+    def test_send_local_is_free(self, cost):
+        m = Metrics(2, 1, cost)
+        m.send(0, 0, 1000)
+        assert m.machines[0].bytes_sent == 0
+
+    def test_send_remote_charges_both_sides(self, cost):
+        m = Metrics(2, 1, cost)
+        m.send(0, 1, 1000, messages=2)
+        assert m.machines[0].bytes_sent == 1000
+        assert m.machines[0].messages_sent == 2
+        assert m.machines[1].bytes_received == 1000
+        assert m.machines[1].messages_received == 2
+
+    def test_memory_peak_tracking(self, cost):
+        m = Metrics(1, 1, cost)
+        m.alloc(0, 100)
+        m.alloc(0, 200)
+        m.free(0, 250)
+        assert m.machines[0].peak_mem_bytes == 300
+        assert m.machines[0].cur_mem_bytes == 50
+
+    def test_free_never_negative(self, cost):
+        m = Metrics(1, 1, cost)
+        m.alloc(0, 10)
+        m.free(0, 100)
+        assert m.machines[0].cur_mem_bytes == 0
+
+    def test_oom_raised(self):
+        cost = CostModel(memory_budget_bytes=1000)
+        m = Metrics(1, 1, cost)
+        with pytest.raises(OutOfMemoryError) as exc:
+            m.alloc(0, 2000)
+        assert exc.value.machine == 0
+
+    def test_reserve_constant_counts_toward_budget(self):
+        cost = CostModel(memory_budget_bytes=1000)
+        m = Metrics(2, 1, cost)
+        m.reserve_constant(900)
+        with pytest.raises(OutOfMemoryError):
+            m.alloc(1, 200)
+
+    def test_overtime_raised(self):
+        cost = CostModel(time_budget_s=1.0)
+        m = Metrics(1, 1, cost)
+        m.charge_time(0, 2.0)
+        with pytest.raises(OvertimeError):
+            m.check_time()
+
+    def test_elapsed_is_slowest_machine(self, cost):
+        m = Metrics(3, 1, cost)
+        m.charge_ops(0, cost.compute_rate)       # 1 s
+        m.charge_ops(2, 3 * cost.compute_rate)   # 3 s
+        assert m.elapsed() == pytest.approx(3.0)
+
+    def test_report_fields(self, cost):
+        m = Metrics(2, 2, cost)
+        m.charge_worker_ops(0, [100.0, 300.0])
+        m.send(0, 1, 5000)
+        m.alloc(1, 64)
+        m.record_cache(0, hits=3, misses=1)
+        rep = m.report()
+        assert rep.total_time_s > 0
+        assert rep.bytes_transferred == 5000
+        assert rep.peak_memory_bytes == 64
+        assert rep.cache_hit_rate == pytest.approx(0.75)
+        assert rep.worker_time_stddev_s > 0
+        assert len(rep.per_machine_time_s) == 2
+        assert rep.comm_gb == pytest.approx(5e-6)
+
+    def test_report_no_activity(self, cost):
+        rep = Metrics(2, 2, cost).report()
+        assert rep.total_time_s == 0
+        assert rep.cache_hit_rate == 0.0
+        assert rep.network_utilisation == 0.0
+
+    def test_invalid_shape(self, cost):
+        with pytest.raises(ValueError):
+            Metrics(0, 1, cost)
+
+
+class TestClusterRPC:
+    def test_local_get_nbrs_free(self, cluster):
+        v = int(cluster.local_vertices(0)[0])
+        before = cluster.metrics.machines[0].bytes_sent
+        result = cluster.get_nbrs(0, [v])
+        assert v in result
+        assert cluster.metrics.machines[0].bytes_sent == before
+
+    def test_remote_get_nbrs_charged(self, cluster):
+        v = int(cluster.local_vertices(1)[0])
+        result = cluster.get_nbrs(0, [v])
+        assert v in result
+        m = cluster.metrics.machines
+        assert m[0].bytes_sent > 0          # request
+        assert m[1].bytes_sent > 0          # response
+        assert m[0].rpc_requests == 1
+
+    def test_rpc_batched_per_owner(self, cluster):
+        # many vertices of one owner → exactly one request message pair
+        verts = [int(v) for v in cluster.local_vertices(1)[:5]]
+        cluster.get_nbrs(0, verts)
+        assert cluster.metrics.machines[0].messages_sent == 1
+        assert cluster.metrics.machines[1].messages_sent == 1
+
+    def test_get_nbrs_returns_correct_adjacency(self, cluster, er_graph):
+        import numpy as np
+
+        verts = [int(cluster.local_vertices(p)[0]) for p in range(4)]
+        result = cluster.get_nbrs(0, verts)
+        for v in verts:
+            assert np.array_equal(result[v], er_graph.neighbours(v))
+
+    def test_push_accounting(self, cluster):
+        cluster.push(0, 1, num_tuples=10, arity=3)
+        assert cluster.metrics.machines[0].bytes_sent == 10 * 3 * 8
+
+    def test_push_zero_tuples_free(self, cluster):
+        cluster.push(0, 1, num_tuples=0, arity=3)
+        assert cluster.metrics.machines[0].bytes_sent == 0
+
+    def test_shuffle_cost(self, cluster):
+        cluster.shuffle_cost(0, {1: 5, 2: 7, 0: 100}, arity=2)
+        assert cluster.metrics.machines[0].bytes_sent == (5 + 7) * 2 * 8
+
+    def test_reset_metrics(self, cluster):
+        cluster.push(0, 1, 10, 2)
+        cluster.reset_metrics()
+        assert cluster.metrics.machines[0].bytes_sent == 0
+
+    def test_graph_bytes(self, cluster, er_graph):
+        expected = (2 * er_graph.num_edges + er_graph.num_vertices) * 8
+        assert cluster.graph_bytes() == expected
+
+    def test_tuple_bytes(self, cluster):
+        assert cluster.tuple_bytes(4) == 32

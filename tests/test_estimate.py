@@ -1,0 +1,98 @@
+"""Tests for cardinality estimation (repro.query.estimate)."""
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.query import (ExactEstimator, RandomGraphEstimator,
+                         SamplingEstimator, get_query, star_count)
+
+
+class TestStarCount:
+    def test_single_leaf_counts_directed_edges(self, er_graph):
+        assert star_count(er_graph, 1) == 2 * er_graph.num_edges
+
+    def test_two_leaves_counts_wedges(self):
+        g = gen.star_graph(5)  # centre degree 5
+        assert star_count(g, 2) == 10  # C(5,2)
+
+    def test_complete_graph(self):
+        g = gen.complete_graph(5)  # all degrees 4
+        assert star_count(g, 3) == 5 * 4  # 5 · C(4,3)
+
+    def test_invalid_leaves(self, er_graph):
+        with pytest.raises(ValueError):
+            star_count(er_graph, 0)
+
+
+class TestExactEstimator:
+    def test_matches_reference(self, er_graph):
+        from repro.baselines import count_matches
+
+        est = ExactEstimator(er_graph)
+        for name in ("triangle", "q1"):
+            q = get_query(name)
+            assert est.estimate(q) == count_matches(er_graph, q)
+
+    def test_star_shortcut_exact(self, er_graph):
+        est = ExactEstimator(er_graph)
+        from repro.query import QueryGraph
+
+        wedge = QueryGraph(3, [(0, 1), (0, 2)])
+        assert est.estimate(wedge) == pytest.approx(
+            star_count(er_graph, 2))
+
+    def test_caching(self, er_graph):
+        est = ExactEstimator(er_graph)
+        q = get_query("triangle")
+        assert est.estimate(q) == est.estimate(q)
+
+
+class TestSamplingEstimator:
+    @pytest.mark.parametrize("name", ["triangle", "q1", "q2"])
+    def test_within_factor_of_exact(self, name, er_graph):
+        q = get_query(name)
+        exact = ExactEstimator(er_graph).estimate(q)
+        est = SamplingEstimator(er_graph, trials=3000, seed=7).estimate(q)
+        assert exact / 2 <= est <= exact * 2
+
+    def test_deterministic_given_seed(self, er_graph):
+        q = get_query("q1")
+        a = SamplingEstimator(er_graph, trials=100, seed=5).estimate(q)
+        b = SamplingEstimator(er_graph, trials=100, seed=5).estimate(q)
+        assert a == b
+
+    def test_invalid_trials(self, er_graph):
+        with pytest.raises(ValueError):
+            SamplingEstimator(er_graph, trials=0)
+
+    def test_empty_graph(self):
+        from repro.graph import Graph
+
+        est = SamplingEstimator(Graph.empty(0))
+        assert est.estimate(get_query("triangle")) >= 0
+
+    def test_floor_at_one(self):
+        # estimates are floored at 1 so optimiser costs never hit zero
+        g = gen.path_graph(4)  # no triangles
+        est = SamplingEstimator(g, trials=50, seed=1)
+        assert est.estimate(get_query("triangle")) >= 1.0
+
+
+class TestRandomGraphEstimator:
+    def test_order_of_magnitude_on_er(self):
+        # the ER formula is asymptotically right on an actual ER graph
+        g = gen.erdos_renyi(60, 0.25, seed=9)
+        q = get_query("triangle")
+        exact = ExactEstimator(g).estimate(q)
+        est = RandomGraphEstimator(g).estimate(q)
+        assert exact / 4 <= est <= exact * 4
+
+    def test_tiny_graph(self):
+        g = gen.path_graph(2)
+        est = RandomGraphEstimator(g)
+        assert est.estimate(get_query("triangle")) >= 0
+
+    def test_ranking_consistency(self, er_graph):
+        # denser patterns must not be estimated as more frequent
+        est = RandomGraphEstimator(er_graph)
+        assert est.estimate(get_query("q1")) >= est.estimate(get_query("q3"))

@@ -1,0 +1,135 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+
+
+class TestErdosRenyi:
+    def test_deterministic(self):
+        assert gen.erdos_renyi(30, 0.2, seed=1) == gen.erdos_renyi(30, 0.2, seed=1)
+
+    def test_different_seeds_differ(self):
+        assert gen.erdos_renyi(30, 0.2, seed=1) != gen.erdos_renyi(30, 0.2, seed=2)
+
+    def test_p_zero_empty(self):
+        assert gen.erdos_renyi(10, 0.0).num_edges == 0
+
+    def test_p_one_complete(self):
+        g = gen.erdos_renyi(8, 1.0)
+        assert g.num_edges == 8 * 7 // 2
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(10, 1.5)
+
+    def test_edge_count_near_expectation(self):
+        g = gen.erdos_renyi(100, 0.1, seed=9)
+        expected = 0.1 * 100 * 99 / 2
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+
+class TestBarabasiAlbert:
+    def test_vertex_and_min_edge_count(self):
+        n, m = 60, 3
+        g = gen.barabasi_albert(n, m, seed=0)
+        assert g.num_vertices == n
+        # initial clique + m edges per arriving vertex (some may collide)
+        assert g.num_edges >= (n - m - 1) * m
+
+    def test_power_law_tail(self):
+        g = gen.barabasi_albert(400, 2, seed=1)
+        # preferential attachment: max degree far above the average
+        assert g.max_degree > 4 * g.avg_degree
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(3, 3)
+
+    def test_connected(self):
+        g = gen.barabasi_albert(50, 2, seed=2)
+        # BFS from 0 reaches everything (preferential attachment grows
+        # one connected component)
+        seen = {0}
+        stack = [0]
+        while stack:
+            for v in g.neighbours(stack.pop()):
+                if int(v) not in seen:
+                    seen.add(int(v))
+                    stack.append(int(v))
+        assert len(seen) == g.num_vertices
+
+
+class TestPowerLawCluster:
+    def test_more_triangles_than_ba(self):
+        from repro.baselines import count_matches
+        from repro.query import get_query
+
+        tri = get_query("triangle")
+        plc = gen.power_law_cluster(80, 3, triad_p=0.9, seed=3)
+        ba = gen.barabasi_albert(80, 3, seed=3)
+        assert count_matches(plc, tri) > count_matches(ba, tri)
+
+    def test_invalid_triad_p(self):
+        with pytest.raises(ValueError):
+            gen.power_law_cluster(20, 2, triad_p=1.5)
+
+    def test_deterministic(self):
+        assert (gen.power_law_cluster(40, 2, seed=7)
+                == gen.power_law_cluster(40, 2, seed=7))
+
+
+class TestHubWeb:
+    def test_hub_degree_dominates(self):
+        g = gen.hub_web(200, num_hubs=2, hub_degree=80, seed=1)
+        assert g.max_degree >= 60
+
+    def test_invalid_hub_count(self):
+        with pytest.raises(ValueError):
+            gen.hub_web(10, num_hubs=10, hub_degree=3)
+
+    def test_invalid_hub_degree(self):
+        with pytest.raises(ValueError):
+            gen.hub_web(10, num_hubs=1, hub_degree=10)
+
+
+class TestRoadGrid:
+    def test_low_max_degree(self):
+        g = gen.road_grid(15, 15, extra_p=0.0, drop_p=0.0, seed=0)
+        assert g.max_degree <= 4
+
+    def test_size(self):
+        g = gen.road_grid(10, 12, seed=0)
+        assert g.num_vertices == 120
+
+    def test_extra_edges_add_shortcuts(self):
+        plain = gen.road_grid(12, 12, extra_p=0.0, drop_p=0.0, seed=1)
+        extra = gen.road_grid(12, 12, extra_p=0.2, drop_p=0.0, seed=1)
+        assert extra.num_edges > plain.num_edges
+
+
+class TestDeterministicShapes:
+    def test_complete(self):
+        g = gen.complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_star(self):
+        g = gen.star_graph(4)
+        assert g.num_edges == 4
+        assert g.degree(0) == 4
+
+    def test_cycle(self):
+        g = gen.cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            gen.cycle_graph(2)
+
+    def test_path(self):
+        g = gen.path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2

@@ -1,0 +1,154 @@
+"""Unit tests for the CSR graph (repro.graph.graph)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphBuilder
+from repro.graph import generators as gen
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_edges_dedups(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_from_edges_drops_self_loops(self):
+        g = Graph.from_edges([(0, 0), (0, 1)])
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_from_edges_num_vertices_override(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degree(9) == 0
+
+    def test_from_edges_num_vertices_too_small(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges([(0, 5)], num_vertices=3)
+
+    def test_empty(self):
+        g = Graph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+    def test_empty_zero(self):
+        g = Graph.empty()
+        assert g.num_vertices == 0
+        assert list(g.edges()) == []
+
+    def test_malformed_csr_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 2]), np.array([1]))
+
+    def test_non_monotone_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 2, 1, 3]), np.array([1, 2, 0]))
+
+
+class TestAccessors:
+    def test_neighbours_sorted(self):
+        g = Graph.from_edges([(2, 0), (2, 4), (2, 1)])
+        assert list(g.neighbours(2)) == [0, 1, 4]
+
+    def test_neighbours_readonly(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            g.neighbours(0)[0] = 5
+
+    def test_degree(self):
+        g = gen.star_graph(6)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_has_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_has_edge_out_of_range(self):
+        g = Graph.from_edges([(0, 1)])
+        assert not g.has_edge(0, 99)
+        assert not g.has_edge(-1, 0)
+
+    def test_edges_iterates_once(self):
+        g = gen.cycle_graph(5)
+        edges = list(g.edges())
+        assert len(edges) == 5
+        assert all(u < v for u, v in edges)
+
+    def test_len_is_vertices(self):
+        assert len(gen.complete_graph(4)) == 4
+
+
+class TestStatistics:
+    def test_max_degree(self, ba_graph):
+        assert ba_graph.max_degree == int(max(ba_graph.degrees()))
+
+    def test_avg_degree(self):
+        g = gen.cycle_graph(10)
+        assert g.avg_degree == pytest.approx(2.0)
+
+    def test_degrees_sum_is_twice_edges(self, er_graph):
+        assert int(er_graph.degrees().sum()) == 2 * er_graph.num_edges
+
+    def test_empty_graph_stats(self):
+        g = Graph.empty(0)
+        assert g.max_degree == 0
+        assert g.avg_degree == 0.0
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_graphs(self):
+        assert Graph.from_edges([(0, 1)]) != Graph.from_edges([(0, 1), (1, 2)])
+
+    def test_eq_other_type(self):
+        assert Graph.from_edges([(0, 1)]) != "graph"
+
+
+class TestBuilder:
+    def test_relabelling(self):
+        b = GraphBuilder()
+        b.add_edge("alice", "bob").add_edge("bob", "carol")
+        g = b.build()
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert b.vertex_ids["alice"] == 0
+
+    def test_integer_mode(self):
+        b = GraphBuilder(relabel=False)
+        b.add_edge(3, 7)
+        g = b.build()
+        assert g.num_vertices == 8
+        assert g.has_edge(3, 7)
+
+    def test_integer_mode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(relabel=False).add_edge(-1, 2)
+
+    def test_self_loop_ignored(self):
+        b = GraphBuilder()
+        b.add_edge("x", "x")
+        assert b.num_edges == 0
+
+    def test_add_vertex_isolated(self):
+        b = GraphBuilder(relabel=False)
+        b.add_vertex(4)
+        g = b.build()
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+    def test_add_edges_bulk(self):
+        g = GraphBuilder(relabel=False).add_edges(
+            [(0, 1), (1, 2), (2, 0)]).build()
+        assert g.num_edges == 3

@@ -1,0 +1,175 @@
+"""Integration tests: full pipelines across modules."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import (Cluster, CostModel, EngineConfig, HugeEngine,
+                   count_subgraphs, enumerate_subgraphs, get_query)
+from repro.baselines import (BenuEngine, BigJoinEngine, RadsEngine,
+                             SeedEngine, count_matches)
+from repro.graph import generators as gen, load_dataset, load_edge_list, \
+    save_edge_list
+
+
+class TestFileToAnswerPipeline:
+    def test_edge_list_roundtrip_query(self, tmp_path):
+        g = gen.power_law_cluster(60, 3, triad_p=0.6, seed=13)
+        path = tmp_path / "graph.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path, relabel=False)
+        assert count_subgraphs(loaded, "triangle") == \
+            count_subgraphs(g, "triangle")
+
+    def test_counts_match_networkx_triangles(self):
+        g = gen.erdos_renyi(60, 0.15, seed=21)
+        nxg = nx.Graph(list(g.edges()))
+        expect = sum(nx.triangles(nxg).values()) // 3
+        assert count_subgraphs(g, "triangle") == expect
+
+    def test_counts_match_networkx_cliques(self):
+        g = gen.erdos_renyi(40, 0.3, seed=22)
+        nxg = nx.Graph(list(g.edges()))
+        expect = sum(1 for c in nx.enumerate_all_cliques(nxg)
+                     if len(c) == 4)
+        assert count_subgraphs(g, "q3") == expect
+
+
+class TestDeterminism:
+    def test_same_seed_same_metrics(self):
+        g = load_dataset("GO")
+        reports = []
+        for _ in range(2):
+            cl = Cluster(g, num_machines=4, seed=3)
+            r = HugeEngine(cl).run(get_query("q1"))
+            reports.append(r.report)
+        assert reports[0].total_time_s == reports[1].total_time_s
+        assert reports[0].bytes_transferred == reports[1].bytes_transferred
+        assert reports[0].peak_memory_bytes == reports[1].peak_memory_bytes
+
+    def test_partition_seed_changes_layout_not_count(self):
+        g = load_dataset("GO")
+        counts = set()
+        for seed in (1, 2, 3):
+            cl = Cluster(g, num_machines=4, seed=seed)
+            counts.add(HugeEngine(cl).run(get_query("q2")).count)
+        assert len(counts) == 1
+
+    def test_engine_reusable_across_queries(self):
+        g = load_dataset("GO")
+        cl = Cluster(g, num_machines=4, seed=1)
+        engine = HugeEngine(cl)
+        for name in ("triangle", "q1", "q2"):
+            q = get_query(name)
+            assert engine.run(q).count == count_matches(g, q)
+
+
+class TestAllEnginesAllQueries:
+    """the grand agreement matrix on a structured graph"""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g = gen.power_law_cluster(60, 3, triad_p=0.5, seed=17)
+        cl = Cluster(g, num_machines=3, workers_per_machine=2, seed=1)
+        return g, cl
+
+    @pytest.mark.parametrize("qname", ["q1", "q2", "q3", "q4", "q5", "q6",
+                                       "q7", "q8"])
+    def test_agreement(self, setup, qname):
+        g, cl = setup
+        q = get_query(qname)
+        expect = count_matches(g, q)
+        assert HugeEngine(cl).run(q).count == expect
+        assert SeedEngine(cl).run(q).count == expect
+        assert BigJoinEngine(cl).run(q).count == expect
+        assert BenuEngine(cl).run(q).count == expect
+        assert RadsEngine(cl).run(q).count == expect
+
+
+class TestCostModelMonotonicity:
+    """sanity relations the simulated times must respect"""
+
+    def test_slower_network_slower_push_systems(self):
+        g = load_dataset("LJ", scale=0.6)
+        times = {}
+        for bw in (4e7, 4e6):
+            cl = Cluster(g, num_machines=4, seed=1,
+                         cost=CostModel(bandwidth_bytes_per_s=bw))
+            times[bw] = SeedEngine(cl).run(
+                get_query("q1")).report.total_time_s
+        assert times[4e6] > times[4e7]
+
+    def test_slower_cpu_slower_everything(self):
+        g = load_dataset("GO")
+        times = {}
+        for rate in (1e7, 1e6):
+            cl = Cluster(g, num_machines=4, seed=1,
+                         cost=CostModel(compute_rate=rate))
+            times[rate] = HugeEngine(cl).run(
+                get_query("q1")).report.total_time_s
+        assert times[1e6] > times[1e7]
+
+    def test_more_machines_less_peak_memory_for_seed(self):
+        g = load_dataset("LJ", scale=0.6)
+        mems = {}
+        for k in (2, 8):
+            cl = Cluster(g, num_machines=k, seed=1)
+            mems[k] = SeedEngine(cl).run(
+                get_query("q1")).report.peak_memory_bytes
+        assert mems[8] < mems[2]
+
+    def test_kvstore_overhead_drives_benu(self):
+        g = load_dataset("GO")
+        times = {}
+        for stall in (4e-4, 4e-6):
+            cl = Cluster(g, num_machines=4, seed=1,
+                         cost=CostModel(kvstore_request_s=stall))
+            times[stall] = BenuEngine(cl).run(
+                get_query("q1")).report.total_time_s
+        assert times[4e-4] > 2 * times[4e-6]
+
+
+class TestApiSurface:
+    def test_enumerate_with_cost_override(self, er_graph):
+        result = enumerate_subgraphs(
+            er_graph, "triangle",
+            cost=CostModel(compute_rate=1e6))
+        assert result.count == count_matches(er_graph, get_query("triangle"))
+
+    def test_plan_description_stringifies(self, er_graph):
+        result = enumerate_subgraphs(er_graph, "q7")
+        text = result.plan.describe()
+        assert "q7" in text and "join" in text
+
+    def test_throughput_property(self, er_graph):
+        result = enumerate_subgraphs(er_graph, "triangle")
+        assert result.throughput_per_s == pytest.approx(
+            result.count / result.report.total_time_s)
+
+
+class TestExternalValidation:
+    """cross-check against networkx's independent VF2 matcher"""
+
+    @pytest.mark.parametrize("name", ["triangle", "q1", "q2", "q4", "q7"])
+    def test_vf2_monomorphism_counts(self, name):
+        from networkx.algorithms.isomorphism import GraphMatcher
+
+        from repro.query import automorphism_count
+
+        g = gen.erdos_renyi(25, 0.3, seed=31)
+        nxg = nx.Graph(list(g.edges()))
+        q = get_query(name)
+        pattern = nx.Graph(list(q.edges))
+        vf2_ordered = sum(1 for _ in GraphMatcher(
+            nxg, pattern).subgraph_monomorphisms_iter())
+        ours = count_subgraphs(g, name)
+        assert vf2_ordered == ours * automorphism_count(q)
+
+    def test_semantics_are_non_induced(self):
+        # the square count includes squares with chords (monomorphism
+        # semantics, as in the paper); induced matching would skip them
+        from repro.graph import Graph
+
+        diamond = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        assert count_subgraphs(diamond, "q1") == 1   # the chorded square
+        assert count_subgraphs(diamond, "q2") == 1   # the diamond itself

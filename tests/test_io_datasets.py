@@ -1,0 +1,86 @@
+"""Unit tests for edge-list I/O and the named datasets."""
+
+import pytest
+
+from repro.graph import (DATASETS, dataset_table, load_dataset,
+                         load_edge_list, save_edge_list)
+from repro.graph import generators as gen
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path, er_graph):
+        path = tmp_path / "g.txt"
+        save_edge_list(er_graph, path)
+        loaded = load_edge_list(path, relabel=False)
+        assert loaded == er_graph
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% another\n0 1\n1 2\n")
+        g = load_edge_list(path, relabel=False)
+        assert g.num_edges == 2
+
+    def test_commas_accepted(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("0,1\n1,2\n")
+        assert load_edge_list(path, relabel=False).num_edges == 2
+
+    def test_string_vertices_relabel(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("alice bob\nbob carol\n")
+        g = load_edge_list(path)
+        assert g.num_vertices == 3
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+
+class TestDatasets:
+    def test_all_names_load(self):
+        for name in DATASETS:
+            g = load_dataset(name, scale=0.3)
+            assert g.num_vertices > 0
+            assert g.num_edges > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_case_insensitive(self):
+        assert load_dataset("lj") == load_dataset("LJ")
+
+    def test_deterministic(self):
+        assert load_dataset("GO") == load_dataset("GO")
+
+    def test_scale_grows(self):
+        small = load_dataset("LJ", scale=0.5)
+        big = load_dataset("LJ", scale=1.0)
+        assert big.num_vertices > small.num_vertices
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("LJ", scale=0)
+
+    def test_road_graph_low_degree(self):
+        assert load_dataset("EU").max_degree <= 8
+
+    def test_web_graphs_have_hubs(self):
+        for name in ("UK", "CW"):
+            g = load_dataset(name)
+            assert g.max_degree > 20 * g.avg_degree
+
+    def test_size_ordering_preserved(self):
+        # relative ordering of the original datasets is preserved
+        sizes = {n: load_dataset(n).num_edges for n in ("GO", "LJ", "FS", "CW")}
+        assert sizes["GO"] < sizes["LJ"] <= sizes["FS"] <= sizes["CW"]
+
+    def test_dataset_table_rows(self):
+        rows = dataset_table(scale=0.5)
+        assert len(rows) == len(DATASETS)
+        for row in rows:
+            assert row["paper_E"] > row["standin_E"]
+            assert set(row) >= {"dataset", "family", "paper_dmax",
+                                "standin_dmax"}

@@ -1,0 +1,240 @@
+"""Unit tests for the runtime operators (repro.core.operators)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.cache import LRBUCache, make_cache
+from repro.core.dataflow import ExtendSpec, JoinSpec, ScanSpec
+from repro.core.operators import (ExecContext, ExtendOp, JoinBuffer, ScanOp,
+                                  SinkConsumer, join_stream)
+from repro.graph import generators as gen
+
+
+@pytest.fixture()
+def ctx(er_graph):
+    cluster = Cluster(er_graph, num_machines=4, workers_per_machine=2,
+                      seed=1)
+    caches = [LRBUCache(None, cluster.cost) for _ in range(4)]
+    return ExecContext(cluster, caches, two_stage=True, batch_size=64)
+
+
+class TestScanOp:
+    def test_emits_local_edges(self, ctx, er_graph):
+        op = ScanOp(ScanSpec(schema=(0, 1)), ctx)
+        pivots = [int(v) for v in ctx.cluster.local_vertices(0)]
+        out, costs, counted = op.process(0, pivots)
+        assert counted == 0
+        assert len(costs) == len(pivots)
+        expect = sum(er_graph.degree(u) for u in pivots)
+        assert len(out) == expect
+        for u, v in out:
+            assert er_graph.has_edge(u, v)
+
+    def test_order_filter_lt(self, ctx):
+        op = ScanOp(ScanSpec(schema=(0, 1), order="lt"), ctx)
+        pivots = [int(v) for v in ctx.cluster.local_vertices(0)]
+        out, _, _ = op.process(0, pivots)
+        assert all(u < v for u, v in out)
+
+    def test_order_filter_gt(self, ctx):
+        op = ScanOp(ScanSpec(schema=(0, 1), order="gt"), ctx)
+        pivots = [int(v) for v in ctx.cluster.local_vertices(0)]
+        out, _, _ = op.process(0, pivots)
+        assert all(u > v for u, v in out)
+
+    def test_both_orders_partition_edges(self, ctx, er_graph):
+        pivots = [int(v) for v in ctx.cluster.local_vertices(1)]
+        lt = ScanOp(ScanSpec(schema=(0, 1), order="lt"), ctx).process(
+            1, pivots)[0]
+        gt = ScanOp(ScanSpec(schema=(0, 1), order="gt"), ctx).process(
+            1, pivots)[0]
+        assert len(lt) + len(gt) == sum(er_graph.degree(u) for u in pivots)
+
+    def test_stolen_remote_pivots(self, ctx, er_graph):
+        """pivots owned elsewhere are pulled via RPC"""
+        remote = [int(v) for v in ctx.cluster.local_vertices(1)[:3]]
+        out, _, _ = ScanOp(ScanSpec(schema=(0, 1)), ctx).process(0, remote)
+        assert len(out) == sum(er_graph.degree(u) for u in remote)
+        assert ctx.metrics.machines[0].rpc_requests >= 1
+
+
+class TestExtendOp:
+    def _edge_batch(self, ctx, machine):
+        out, _, _ = ScanOp(ScanSpec(schema=(0, 1), order="lt"),
+                           ctx).process(
+            machine, [int(v) for v in ctx.cluster.local_vertices(machine)])
+        return out
+
+    def test_extension_produces_wedges(self, ctx, er_graph):
+        spec = ExtendSpec(ext=(0,), out_schema=(0, 1, 2), new_vertex=2)
+        op = ExtendOp(spec, ctx)
+        batch = self._edge_batch(ctx, 0)
+        out, costs, _ = op.process(0, batch)
+        assert len(costs) == len(batch)
+        for (u, v, w) in out:
+            assert er_graph.has_edge(u, w)
+            assert w != v and w != u  # injectivity
+
+    def test_two_way_intersection_closes_triangles(self, ctx, er_graph):
+        spec = ExtendSpec(ext=(0, 1), out_schema=(0, 1, 2), new_vertex=2)
+        op = ExtendOp(spec, ctx)
+        batch = self._edge_batch(ctx, 0)
+        out, _, _ = op.process(0, batch)
+        for (u, v, w) in out:
+            assert er_graph.has_edge(u, w) and er_graph.has_edge(v, w)
+
+    def test_candidate_order_conditions(self, ctx):
+        spec = ExtendSpec(ext=(0,), out_schema=(0, 1, 2), new_vertex=2,
+                          candidate_gt=(0,), candidate_lt=(1,))
+        out, _, _ = ExtendOp(spec, ctx).process(0, self._edge_batch(ctx, 0))
+        for (u, v, w) in out:
+            assert w > u and w < v
+
+    def test_verify_extend_checks_edge(self, ctx, er_graph):
+        # verify that f[0] is a neighbour of f[1]: always true for edges
+        spec = ExtendSpec(ext=(1,), out_schema=(0, 1), verify_pos=0)
+        batch = self._edge_batch(ctx, 0)
+        out, _, _ = ExtendOp(spec, ctx).process(0, batch)
+        assert out == batch
+
+    def test_verify_extend_filters_non_edges(self, ctx, er_graph):
+        spec = ExtendSpec(ext=(1,), out_schema=(0, 1), verify_pos=0)
+        non_edges = []
+        for u in range(er_graph.num_vertices):
+            for v in range(er_graph.num_vertices):
+                if u != v and not er_graph.has_edge(u, v):
+                    non_edges.append((u, v))
+                if len(non_edges) >= 10:
+                    break
+            if len(non_edges) >= 10:
+                break
+        out, _, _ = ExtendOp(spec, ctx).process(0, non_edges)
+        assert out == []
+
+    def test_count_only_matches_materialised(self, ctx):
+        spec = ExtendSpec(ext=(0, 1), out_schema=(0, 1, 2), new_vertex=2)
+        op = ExtendOp(spec, ctx)
+        batch = self._edge_batch(ctx, 0)
+        out, _, _ = op.process(0, batch)
+        _, _, counted = op.process(0, batch, count_only=True)
+        assert counted == len(out)
+
+    def test_fetch_stage_seals_and_releases(self, ctx):
+        spec = ExtendSpec(ext=(0,), out_schema=(0, 1, 2), new_vertex=2)
+        op = ExtendOp(spec, ctx)
+        op.process(0, self._edge_batch(ctx, 0))
+        # after the batch, everything is released
+        assert ctx.caches[0].num_sealed == 0
+
+    def test_remote_reads_populate_cache(self, ctx):
+        spec = ExtendSpec(ext=(1,), out_schema=(0, 1, 2), new_vertex=2)
+        op = ExtendOp(spec, ctx)
+        op.process(0, self._edge_batch(ctx, 0))
+        assert len(ctx.caches[0]) > 0
+        assert ctx.metrics.machines[0].cache_misses > 0
+
+    def test_second_pass_hits_cache(self, ctx):
+        spec = ExtendSpec(ext=(1,), out_schema=(0, 1, 2), new_vertex=2)
+        op = ExtendOp(spec, ctx)
+        batch = self._edge_batch(ctx, 0)
+        op.process(0, batch)
+        before = ctx.metrics.machines[0].cache_hits
+        op.process(0, batch)
+        assert ctx.metrics.machines[0].cache_hits > before
+
+
+class TestPerMissMode:
+    def test_cncr_lru_pays_per_miss_rpcs(self, er_graph):
+        cluster = Cluster(er_graph, num_machines=4, seed=1)
+        caches = [make_cache("cncr-lru", 10_000, cluster.cost, workers=4)
+                  for _ in range(4)]
+        ctx = ExecContext(cluster, caches, two_stage=False, batch_size=64)
+        spec = ExtendSpec(ext=(1,), out_schema=(0, 1, 2), new_vertex=2)
+        op = ExtendOp(spec, ctx)
+        scan = ScanOp(ScanSpec(schema=(0, 1)), ctx)
+        batch, _, _ = scan.process(
+            0, [int(v) for v in cluster.local_vertices(0)])
+        op.process(0, batch)
+        # per-miss RPCs: one request pair per remote miss, not per batch
+        misses = cluster.metrics.machines[0].cache_misses
+        assert misses > 0
+        assert cluster.metrics.machines[0].rpc_requests == misses
+
+
+class TestSink:
+    def test_counting(self):
+        sink = SinkConsumer(schema=(0, 1))
+        sink.consume(0, [(1, 2), (3, 4)])
+        sink.consume_count(1, 5)
+        assert sink.count == 7
+
+    def test_matches_require_collect(self):
+        sink = SinkConsumer(schema=(0, 1))
+        with pytest.raises(ValueError):
+            sink.matches()
+
+    def test_matches_reordered_by_schema(self):
+        sink = SinkConsumer(schema=(2, 0, 1), collect=True)
+        sink.consume(0, [(30, 10, 20)])
+        assert sink.matches() == [(10, 20, 30)]
+
+
+class TestJoinBufferAndStream:
+    def test_shuffle_and_join(self, ctx):
+        spec = JoinSpec(left_key=(1,), right_key=(0,), right_carry=(1,),
+                        out_schema=(0, 1, 2))
+        left = JoinBuffer(ctx, spec.left_key, arity=2, buffer_tuples=1000)
+        right = JoinBuffer(ctx, spec.right_key, arity=2, buffer_tuples=1000)
+        left.consume(0, [(1, 2), (3, 4)])
+        right.consume(1, [(2, 9), (4, 7), (5, 1)])
+        out = []
+        for m in range(ctx.cluster.num_machines):
+            for batch in join_stream(ctx, spec, left, right, m, 100):
+                out.extend(batch)
+        assert sorted(out) == [(1, 2, 9), (3, 4, 7)]
+
+    def test_cross_distinct_filter(self, ctx):
+        spec = JoinSpec(left_key=(1,), right_key=(0,), right_carry=(1,),
+                        out_schema=(0, 1, 2), cross_distinct=((0, 2),))
+        left = JoinBuffer(ctx, spec.left_key, 2, 1000)
+        right = JoinBuffer(ctx, spec.right_key, 2, 1000)
+        left.consume(0, [(1, 2)])
+        right.consume(0, [(2, 1), (2, 9)])  # (1,2,1) violates distinctness
+        out = []
+        for m in range(ctx.cluster.num_machines):
+            for batch in join_stream(ctx, spec, left, right, m, 100):
+                out.extend(batch)
+        assert out == [(1, 2, 9)]
+
+    def test_cross_condition_filter(self, ctx):
+        spec = JoinSpec(left_key=(1,), right_key=(0,), right_carry=(1,),
+                        out_schema=(0, 1, 2), cross_conditions=((0, 2),))
+        left = JoinBuffer(ctx, spec.left_key, 2, 1000)
+        right = JoinBuffer(ctx, spec.right_key, 2, 1000)
+        left.consume(0, [(5, 2)])
+        right.consume(0, [(2, 3), (2, 9)])  # need out[0] < out[2]: 5 < x
+        out = []
+        for m in range(ctx.cluster.num_machines):
+            for batch in join_stream(ctx, spec, left, right, m, 100):
+                out.extend(batch)
+        assert out == [(5, 2, 9)]
+
+    def test_same_key_same_machine(self, ctx):
+        buf = JoinBuffer(ctx, (0,), arity=2, buffer_tuples=1000)
+        assert buf.destination((7, 1)) == buf.destination((7, 99))
+
+    def test_spill_bounds_memory(self, ctx):
+        buf = JoinBuffer(ctx, (0,), arity=2, buffer_tuples=10)
+        # funnel many tuples with one key to one machine
+        buf.consume(0, [(5, i) for i in range(200)])
+        dest = buf.destination((5, 0))
+        spilled = ctx.metrics.machines[dest].spilled_bytes
+        assert spilled > 0
+        # in-memory share stays at the threshold
+        assert buf._in_memory[dest] <= 10
+
+    def test_shuffle_charges_network(self, ctx):
+        buf = JoinBuffer(ctx, (0,), arity=2, buffer_tuples=1000)
+        buf.consume(0, [(i, i + 1) for i in range(50)])
+        sent = sum(m.bytes_sent for m in ctx.metrics.machines)
+        assert sent > 0

@@ -1,0 +1,258 @@
+"""Tests for logical plans, Equation 3 configuration, and the optimiser."""
+
+import pytest
+
+from repro.cluster import PlanError
+from repro.core.plan import (CommMode, JoinAlgorithm, LogicalPlan, Optimiser,
+                             PlanNode, benu_plan, configure_join,
+                             configure_plan, dfs_order, emptyheaded_plan,
+                             graphflow_plan, greedy_order, optimal_plan,
+                             rads_plan, seed_plan, starjoin_plan,
+                             vertex_order_plan, wco_plan)
+from repro.query import (ExactEstimator, SubQuery, full_subquery, get_query)
+
+
+def sq(*edges):
+    return SubQuery(frozenset(tuple(sorted(e)) for e in edges))
+
+
+class TestPlanNode:
+    def test_leaf(self):
+        node = PlanNode(sq((0, 1)))
+        assert node.is_leaf
+        assert node.depth() == 1
+
+    def test_join_validation_edge_overlap(self):
+        with pytest.raises(PlanError):
+            PlanNode(sq((0, 1), (1, 2)),
+                     PlanNode(sq((0, 1))), PlanNode(sq((0, 1), (1, 2))))
+
+    def test_join_validation_coverage(self):
+        with pytest.raises(PlanError):
+            PlanNode(sq((0, 1), (1, 2), (2, 3)),
+                     PlanNode(sq((0, 1))), PlanNode(sq((1, 2))))
+
+    def test_join_validation_disconnected(self):
+        with pytest.raises(PlanError):
+            PlanNode(sq((0, 1), (2, 3)),
+                     PlanNode(sq((0, 1))), PlanNode(sq((2, 3))))
+
+    def test_one_child_rejected(self):
+        with pytest.raises(PlanError):
+            PlanNode(sq((0, 1), (1, 2)), PlanNode(sq((0, 1))), None)
+
+    def test_traversal_order(self):
+        left = PlanNode(sq((0, 1)))
+        right = PlanNode(sq((1, 2)))
+        root = PlanNode(sq((0, 1), (1, 2)), left, right)
+        assert [n.is_leaf for n in root.nodes()] == [True, True, False]
+        assert list(root.joins()) == [root]
+        assert root.is_left_deep()
+
+
+class TestLogicalPlan:
+    def test_validates_root_coverage(self):
+        q = get_query("triangle")
+        with pytest.raises(PlanError):
+            LogicalPlan(q, PlanNode(sq((0, 1))))
+
+    def test_validates_star_units(self):
+        q = get_query("triangle")
+        # triangle "unit" is not a star
+        with pytest.raises(PlanError):
+            LogicalPlan(q, PlanNode(full_subquery(q)))
+
+    def test_describe_mentions_joins(self):
+        plan = wco_plan(get_query("q1"))
+        text = plan.describe()
+        assert "J1" in text and "J2" in text
+
+
+class TestEquationThree:
+    def test_complete_star_join_is_wco_pulling(self):
+        left = sq((0, 1), (1, 2))
+        right = sq((0, 3), (2, 3))
+        setting, swapped = configure_join(left, right)
+        assert setting.algorithm is JoinAlgorithm.WCO
+        assert setting.comm is CommMode.PULLING
+        assert setting.star_root == 3
+        assert not swapped
+
+    def test_star_with_matched_root_is_hash_pulling(self):
+        left = sq((0, 1), (1, 2))
+        right = sq((0, 3), (0, 4))  # root 0 matched, leaves new
+        setting, _ = configure_join(left, right)
+        assert setting.algorithm is JoinAlgorithm.HASH
+        assert setting.comm is CommMode.PULLING
+        assert setting.star_root == 0
+
+    def test_otherwise_hash_pushing(self):
+        left = sq((0, 1), (1, 2))        # path
+        right = sq((2, 3), (3, 4))       # path sharing vertex 2
+        setting, _ = configure_join(left, right)
+        assert setting.algorithm is JoinAlgorithm.HASH
+        assert setting.comm is CommMode.PUSHING
+        assert setting.star_root is None
+
+    def test_wedge_right_is_also_a_star(self):
+        # a wedge is a 2-star, so either orientation qualifies; the
+        # un-swapped one is preferred
+        left = sq((0, 3), (2, 3))
+        right = sq((0, 1), (1, 2))
+        setting, swapped = configure_join(left, right)
+        assert not swapped
+        assert setting.comm is CommMode.PULLING
+        assert setting.star_root == 1
+
+    def test_swapped_when_star_on_left(self):
+        # right is a 3-path (not a star); left is the star → swap
+        left = sq((0, 3), (2, 3))
+        right = sq((0, 1), (1, 2), (2, 4))
+        setting, swapped = configure_join(left, right)
+        assert swapped
+        assert setting.comm is CommMode.PULLING
+        assert setting.star_root == 3
+
+    def test_configure_plan_swaps_children(self):
+        from repro.query import QueryGraph
+
+        q = QueryGraph(5, [(0, 1), (1, 2), (2, 4), (0, 3), (2, 3)])
+        star = sq((0, 3), (2, 3))
+        path = sq((0, 1), (1, 2), (2, 4))  # not a star
+        path_node = PlanNode(path, PlanNode(sq((0, 1), (1, 2))),
+                             PlanNode(sq((2, 4))))
+        logical = LogicalPlan(q, PlanNode(
+            full_subquery(q), PlanNode(star), path_node))
+        plan = configure_plan(logical)
+        join = list(plan.joins())[-1]  # post-order: root join is last
+        assert join.right.sub == star  # star moved to the right
+
+
+class TestOptimiser:
+    @pytest.fixture()
+    def estimator(self, er_graph):
+        return ExactEstimator(er_graph)
+
+    @pytest.mark.parametrize("name", ["triangle", "q1", "q2", "q3", "q4",
+                                      "q6", "q7", "q8"])
+    def test_produces_valid_plan(self, name, estimator, er_graph):
+        plan = optimal_plan(get_query(name), estimator, 4,
+                            er_graph.num_edges)
+        assert plan.root.sub == full_subquery(get_query(name))
+        assert plan.estimated_cost > 0
+
+    def test_star_query_is_single_unit(self, estimator, er_graph):
+        from repro.query import QueryGraph
+
+        star = QueryGraph(4, [(0, 1), (0, 2), (0, 3)])
+        plan = optimal_plan(star, estimator, 4, er_graph.num_edges)
+        assert plan.root.is_leaf
+
+    def test_disconnected_query_rejected(self, estimator, er_graph):
+        from repro.query import QueryGraph
+
+        with pytest.raises(PlanError):
+            optimal_plan(QueryGraph(4, [(0, 1), (2, 3)]), estimator, 4,
+                         er_graph.num_edges)
+
+    def test_unknown_strategy_rejected(self, estimator):
+        with pytest.raises(ValueError):
+            Optimiser(estimator, 4, 100, cost_strategy="bogus")
+
+    def test_pull_cost_scales_with_machines(self, estimator, er_graph):
+        # more machines make pulling k·|E| more expensive; cost must not
+        # decrease with k for the same query
+        q = get_query("q1")
+        cost_small = Optimiser(estimator, 2, er_graph.num_edges).run(q)
+        cost_large = Optimiser(estimator, 64, er_graph.num_edges).run(q)
+        assert cost_large.estimated_cost >= cost_small.estimated_cost
+
+    def test_compute_strategies_ignore_communication(self, estimator,
+                                                     er_graph):
+        q = get_query("q7")
+        mat = Optimiser(estimator, 10, er_graph.num_edges,
+                        cost_strategy="compute-mat")
+        plan, cost = mat.run_logical(q)
+        # same DP with a huge cluster must give the identical cost since
+        # communication is ignored
+        mat2 = Optimiser(estimator, 10_000, er_graph.num_edges,
+                         cost_strategy="compute-mat")
+        _, cost2 = mat2.run_logical(q)
+        assert cost == cost2
+
+
+class TestPluginPlans:
+    @pytest.mark.parametrize("name", ["q1", "q2", "q3", "q4", "q6", "q7"])
+    def test_wco_plan_is_left_deep_extensions(self, name):
+        q = get_query(name)
+        plan = wco_plan(q)
+        assert plan.root.is_left_deep()
+        # every join is a complete star join (vertex extension)
+        from repro.query import is_complete_star_join
+
+        for node in plan.joins():
+            assert is_complete_star_join(node.left.sub, node.right.sub)
+
+    def test_wco_order_is_connected(self):
+        q = get_query("q5")
+        order = greedy_order(q)
+        seen = {order[0]}
+        for v in order[1:]:
+            assert q.neighbours(v) & seen
+            seen.add(v)
+
+    def test_dfs_order_starts_at_zero(self):
+        assert dfs_order(get_query("q4"))[0] == 0
+
+    def test_benu_plan_valid(self):
+        plan = benu_plan(get_query("q2"))
+        assert plan.root.is_left_deep()
+
+    def test_vertex_order_plan_rejects_bad_order(self):
+        q = get_query("q1")
+        with pytest.raises(PlanError):
+            vertex_order_plan(q, [0, 2, 1, 3])  # 0-2 not an edge
+
+    def test_vertex_order_plan_rejects_non_permutation(self):
+        with pytest.raises(PlanError):
+            vertex_order_plan(get_query("q1"), [0, 1, 2])
+
+    def test_rads_plan_roots_matched(self):
+        q = get_query("q1")
+        plan = rads_plan(q)
+        matched: set[int] = set()
+        for leaf in plan.root.leaves():
+            star = leaf.sub
+            if matched:
+                assert star.star_root() in matched or (
+                    star.num_vertices == 2
+                    and star.vertices & matched)
+            matched |= star.vertices
+
+    def test_starjoin_plan_covers_query(self):
+        q = get_query("q4")
+        plan = starjoin_plan(q)
+        assert plan.root.sub == full_subquery(q)
+
+    def test_seed_plan_valid(self, er_graph):
+        plan = seed_plan(get_query("q1"), ExactEstimator(er_graph))
+        assert plan.root.sub == full_subquery(get_query("q1"))
+
+    def test_sequential_hybrid_plans(self, er_graph):
+        est = ExactEstimator(er_graph)
+        q = get_query("q7")
+        eh = emptyheaded_plan(q, est)
+        gf = graphflow_plan(q, est, er_graph.avg_degree)
+        assert eh.root.sub == full_subquery(q)
+        assert gf.root.sub == full_subquery(q)
+
+    def test_q7_best_plan_joins_paths(self, er_graph):
+        """Exp-9: the 5-cycle's plan should join a 3-path with a 2-path
+        (in the compute-only/sequential setting) rather than extend a
+        4-path one vertex at a time."""
+        est = ExactEstimator(er_graph)
+        plan = emptyheaded_plan(get_query("q7"), est)
+        root_join = list(plan.joins())[-1]
+        sizes = sorted([root_join.left.sub.num_edges,
+                        root_join.right.sub.num_edges])
+        assert sizes == [2, 3]

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Strategy: generate random small graphs and exercise the full pipeline —
+all engines must agree with the brute-force reference; symmetry breaking
+must keep exactly one embedding per instance; the LRBU cache must honour
+its sealing/overflow contract under arbitrary operation sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (BenuEngine, BigJoinEngine, RadsEngine,
+                             SeedEngine, count_matches,
+                             count_ordered_embeddings)
+from repro.cluster import Cluster
+from repro.core import HugeEngine, LRBUCache
+from repro.cluster import CostModel
+from repro.graph import Graph
+from repro.query import (QueryGraph, automorphism_count, get_query,
+                         symmetry_break)
+
+# -- strategies ----------------------------------------------------------------
+
+
+@st.composite
+def graphs(draw, max_vertices=14):
+    n = draw(st.integers(min_value=4, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), min_size=3,
+                          max_size=len(possible), unique=True))
+    return Graph.from_edges(edges, num_vertices=n)
+
+
+@st.composite
+def patterns(draw):
+    """small connected patterns"""
+    n = draw(st.integers(min_value=3, max_value=4))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    # start from a random spanning path to guarantee connectivity
+    edges = {(i, i + 1) for i in range(n - 1)}
+    extra = draw(st.lists(st.sampled_from(possible), max_size=4))
+    edges.update(extra)
+    return QueryGraph(n, edges)
+
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# -- properties ------------------------------------------------------------------
+
+
+class TestEngineAgreement:
+    @SLOW
+    @given(g=graphs(), seed=st.integers(min_value=0, max_value=3))
+    def test_huge_matches_reference(self, g, seed):
+        q = get_query("triangle")
+        cl = Cluster(g, num_machines=3, workers_per_machine=2, seed=seed)
+        assert HugeEngine(cl).run(q).count == count_matches(g, q)
+
+    @SLOW
+    @given(g=graphs(max_vertices=12))
+    def test_all_engines_agree_on_square(self, g):
+        q = get_query("q1")
+        cl = Cluster(g, num_machines=2, workers_per_machine=2, seed=1)
+        expect = count_matches(g, q)
+        assert HugeEngine(cl).run(q).count == expect
+        assert SeedEngine(cl).run(q).count == expect
+        assert BigJoinEngine(cl).run(q).count == expect
+        assert BenuEngine(cl).run(q).count == expect
+        assert RadsEngine(cl).run(q).count == expect
+
+    @SLOW
+    @given(g=graphs(max_vertices=10), q=patterns())
+    def test_huge_on_random_patterns(self, g, q):
+        cl = Cluster(g, num_machines=2, workers_per_machine=2, seed=0)
+        assert HugeEngine(cl).run(q).count == count_matches(g, q)
+
+
+class TestSymmetryProperties:
+    @SLOW
+    @given(g=graphs(max_vertices=10), q=patterns())
+    def test_aut_divides_ordered_count(self, g, q):
+        ordered = count_ordered_embeddings(g, q)
+        assert ordered % automorphism_count(q) == 0
+
+    @SLOW
+    @given(g=graphs(max_vertices=10), q=patterns())
+    def test_symmetry_break_keeps_exactly_one(self, g, q):
+        ordered = count_ordered_embeddings(g, q)
+        matched = count_matches(g, q)
+        assert matched * automorphism_count(q) == ordered
+
+    @given(q=patterns())
+    @settings(max_examples=50, deadline=None)
+    def test_conditions_reference_valid_vertices(self, q):
+        for (u, v) in symmetry_break(q):
+            assert 0 <= u < q.num_vertices
+            assert 0 <= v < q.num_vertices
+            assert u != v
+
+
+class TestCacheProperties:
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "seal", "release"]),
+                  st.integers(min_value=0, max_value=20)),
+        max_size=120), capacity=st.integers(min_value=2, max_value=30))
+    @settings(max_examples=100, deadline=None)
+    def test_lrbu_invariants_under_random_ops(self, ops, capacity):
+        cache = LRBUCache(capacity, CostModel())
+        sealed_since_release: set[int] = set()
+        for op, vid in ops:
+            if op == "insert":
+                cache.insert(vid, np.asarray([vid], dtype=np.int64))
+                sealed_since_release.add(vid)  # insert pins the entry
+                # at insert time, overflow is bounded by the footprint of
+                # the pinned (sealed) entries — the §4.4 invariant
+                if cache.size_ids > capacity:
+                    pinned_ids = 2 * len(sealed_since_release)
+                    assert cache.size_ids - capacity <= pinned_ids
+            elif op == "seal":
+                cache.seal(vid)
+                if cache.contains(vid):
+                    sealed_since_release.add(vid)
+            else:
+                cache.release()
+                sealed_since_release.clear()
+            # sealed entries are never evicted
+            for v in sealed_since_release:
+                assert cache.contains(v)
+
+    @given(vids=st.lists(st.integers(min_value=0, max_value=1000),
+                         min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_lrbu_never_loses_unsealed_data_silently(self, vids):
+        """whatever is reported contained must be retrievable"""
+        cache = LRBUCache(16, CostModel())
+        for v in vids:
+            cache.insert(v, np.asarray([v], dtype=np.int64))
+            if cache.contains(v):
+                assert cache.get(v)[0] == v
+
+
+class TestGraphProperties:
+    @given(g=graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_degree_sum(self, g):
+        assert int(g.degrees().sum()) == 2 * g.num_edges
+
+    @given(g=graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_neighbours_symmetric(self, g):
+        for u, v in g.edges():
+            assert g.has_edge(v, u)
+
+    @given(g=graphs(), k=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_is_a_partition(self, g, k):
+        from repro.graph import PartitionedGraph
+
+        pg = PartitionedGraph(g, k, seed=0)
+        seen = []
+        for p in range(k):
+            seen.extend(int(v) for v in pg.local_vertices(p))
+        assert sorted(seen) == list(g.vertices())

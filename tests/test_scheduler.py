@@ -1,0 +1,151 @@
+"""Tests for the DFS/BFS-adaptive scheduler (repro.core.scheduler)."""
+
+import pytest
+
+from repro.baselines import count_matches
+from repro.cluster import Cluster
+from repro.core import EngineConfig, HugeEngine, SchedulerConfig
+from repro.core.plan import seed_plan, wco_plan
+from repro.graph import generators as gen
+from repro.query import ExactEstimator, get_query
+
+
+class TestSchedulerConfig:
+    def test_defaults_valid(self):
+        SchedulerConfig()
+
+    def test_rejects_bad_stealing(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(stealing="maybe")
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(scan_pivot_chunk=0)
+
+
+class TestAdaptiveBehaviour:
+    """queue capacity interpolates between DFS and BFS (Exp-7 mechanics)"""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        g = gen.barabasi_albert(150, 3, seed=8)
+        q = get_query("q6")  # 5-path: intermediate explosion
+        out = {}
+        for capacity in (8, 512, float("inf")):
+            cl = Cluster(g, num_machines=4, workers_per_machine=2, seed=1)
+            cfg = EngineConfig(output_queue_capacity=capacity)
+            out[capacity] = HugeEngine(cl, cfg).run(q)
+        return out
+
+    def test_all_capacities_agree(self, sweep):
+        assert len({r.count for r in sweep.values()}) == 1
+
+    def test_bfs_needs_most_memory(self, sweep):
+        mems = {c: r.report.peak_memory_bytes for c, r in sweep.items()}
+        assert mems[float("inf")] == max(mems.values())
+        assert mems[8] == min(mems.values())
+
+    def test_dfs_is_slowest(self, sweep):
+        times = {c: r.report.total_time_s for c, r in sweep.items()}
+        assert times[8] == max(times.values())
+
+    def test_adaptive_memory_bounded_under_explosion(self):
+        """intermediates far exceed the queue bound; memory must not"""
+        g = gen.hub_web(200, num_hubs=2, hub_degree=80, seed=1)
+        q = get_query("q6")
+        cl = Cluster(g, num_machines=4, workers_per_machine=2, seed=1)
+        cfg = EngineConfig(output_queue_capacity=256, batch_size=64,
+                           cache_capacity_ids=100)
+        result = HugeEngine(cl, cfg).run(q)
+        # queue memory: #extend-ops × (capacity + one batch overflow of
+        # D_G each) tuples of ≤ |Vq| ids — the Theorem 5.4 structure
+        per_machine_tuples = (q.num_vertices
+                              * (256 + 64 * g.max_degree))
+        bound = per_machine_tuples * q.num_vertices * 8 + 100 * 8
+        assert result.report.peak_memory_bytes <= bound
+
+
+class TestJoinSegments:
+    def test_push_join_plan_end_to_end(self, er_graph):
+        cl = Cluster(er_graph, num_machines=4, workers_per_machine=2,
+                     seed=1)
+        q = get_query("q6")
+        plan = seed_plan(q, ExactEstimator(er_graph))
+        result = HugeEngine(cl).run(plan=plan)
+        assert result.count == count_matches(er_graph, q)
+
+    def test_join_buffers_released(self, er_graph):
+        cl = Cluster(er_graph, num_machines=4, workers_per_machine=2,
+                     seed=1)
+        q = get_query("q6")
+        plan = seed_plan(q, ExactEstimator(er_graph))
+        HugeEngine(cl).run(plan=plan)
+        # after the run, all queue/buffer memory is freed (only the cache
+        # reservation remains as the constant overhead)
+        for m in cl.metrics.machines:
+            assert m.cur_mem_bytes == 0
+
+    def test_deep_plan_with_multiple_joins(self, er_graph):
+        from repro.core.plan import vertex_order_plan
+        from repro.core.plan.logical import LogicalPlan, PlanNode
+        from repro.query import SubQuery
+
+        # hand-build a bushy two-join plan for the 6-cycle:
+        # (path 0-1-2-3) ⋈ (path 3-4-5-0), each from wedge ⋈ edge
+        def sq(*edges):
+            return SubQuery(frozenset(tuple(sorted(e)) for e in edges))
+
+        q = get_query("q8")
+        left = PlanNode(sq((0, 1), (1, 2), (2, 3)),
+                        PlanNode(sq((0, 1), (1, 2))), PlanNode(sq((2, 3))))
+        right = PlanNode(sq((3, 4), (4, 5), (0, 5)),
+                         PlanNode(sq((3, 4), (4, 5))), PlanNode(sq((0, 5))))
+        plan = LogicalPlan(q, PlanNode(
+            sq(*q.edges), left, right), name="hand-bushy")
+        cl = Cluster(er_graph, num_machines=3, workers_per_machine=2,
+                     seed=2)
+        result = HugeEngine(cl).run(plan=plan)
+        assert result.count == count_matches(er_graph, q)
+
+
+class TestStealingIntegration:
+    def test_stealing_balances_machine_compute_on_skew(self):
+        g = gen.hub_web(300, num_hubs=1, hub_degree=120, seed=4)
+        q = get_query("q1")
+        compute = {}
+        for mode in ("full", "none"):
+            cl = Cluster(g, num_machines=6, workers_per_machine=2, seed=1)
+            cfg = EngineConfig(stealing=mode, steal_threshold=1.2,
+                               batch_size=128, scan_pivot_chunk=8)
+            r = HugeEngine(cl, cfg).run(q)
+            compute[mode] = r.report.compute_time_s
+        # stealing shifts work off the overloaded machine, cutting the
+        # slowest machine's compute time (the transfer itself costs some
+        # communication, so total time is compared in the benchmarks on
+        # heavier skew)
+        assert compute["full"] <= compute["none"]
+
+    def test_stealing_records_events_on_skew(self):
+        g = gen.hub_web(300, num_hubs=1, hub_degree=150, seed=4)
+        cl = Cluster(g, num_machines=6, workers_per_machine=2, seed=1)
+        HugeEngine(cl, EngineConfig(stealing="full", steal_threshold=1.2,
+                                    batch_size=128,
+                                    scan_pivot_chunk=8)).run(get_query("q1"))
+        assert sum(m.steals for m in cl.metrics.machines) > 0
+
+    def test_no_stealing_means_no_steal_events(self, er_graph):
+        cl = Cluster(er_graph, num_machines=4, workers_per_machine=2,
+                     seed=1)
+        HugeEngine(cl, EngineConfig(stealing="none")).run(get_query("q1"))
+        assert sum(m.steals for m in cl.metrics.machines) == 0
+
+    def test_worker_balance_with_stealing(self):
+        g = gen.hub_web(300, num_hubs=1, hub_degree=150, seed=4)
+        stddev = {}
+        for mode in ("full", "none"):
+            cl = Cluster(g, num_machines=4, workers_per_machine=4, seed=1)
+            r = HugeEngine(cl, EngineConfig(stealing=mode, batch_size=128,
+                                            scan_pivot_chunk=8)).run(
+                get_query("q1"))
+            stddev[mode] = r.report.worker_time_stddev_s
+        assert stddev["full"] < stddev["none"]

@@ -1,0 +1,119 @@
+"""Tests for the two-layer work stealing model (repro.core.stealing)."""
+
+from collections import deque
+
+import pytest
+
+from repro.core import distribute_to_workers, rebalance
+from repro.core.stealing import STEALING_MODES
+
+
+class TestWorkerDistribution:
+    def test_stealing_balances(self):
+        costs = [100.0] + [1.0] * 99
+        totals = distribute_to_workers(costs, 4, stealing=True)
+        assert sum(totals) == pytest.approx(sum(costs))
+        assert max(totals) <= 2 * min(totals) + 100  # LPT bound-ish
+        assert max(totals) - min(totals) <= 100.0
+
+    def test_no_stealing_pins_batch_to_one_worker(self):
+        costs = [1.0] * 40
+        totals = distribute_to_workers(costs, 4, stealing=False,
+                                       assign_key=2)
+        assert totals == [0.0, 0.0, 40.0, 0.0]
+
+    def test_no_stealing_key_is_sticky(self):
+        # the same pivot key always selects the same worker — the
+        # "distribute by firstly matched vertex" skew of §5.3
+        a = distribute_to_workers([1.0], 4, stealing=False, assign_key=7)
+        b = distribute_to_workers([2.0], 4, stealing=False, assign_key=7)
+        c = distribute_to_workers([1.0], 4, stealing=False, assign_key=8)
+        assert a.index(1.0) == b.index(2.0)
+        assert a.index(1.0) != c.index(1.0)
+
+    def test_conservation(self):
+        costs = [3.0, 1.0, 4.0, 1.0, 5.0]
+        for stealing in (True, False):
+            totals = distribute_to_workers(costs, 3, stealing)
+            assert sum(totals) == pytest.approx(14.0)
+
+    def test_single_worker(self):
+        assert distribute_to_workers([1.0, 2.0], 1, True) == [3.0]
+
+    def test_empty_batch(self):
+        assert distribute_to_workers([], 4, True) == [0.0] * 4
+
+    def test_stealing_near_optimal_on_uniform(self):
+        totals = distribute_to_workers([1.0] * 100, 4, stealing=True)
+        assert max(totals) == pytest.approx(25.0)
+
+    def test_chunked_distribution_keeps_range_skew(self):
+        from repro.core.stealing import chunked_distribution
+
+        costs = [100.0] * 25 + [1.0] * 75
+        totals = chunked_distribution(costs, 4)
+        assert totals[0] == pytest.approx(2500.0)
+        assert totals[3] == pytest.approx(25.0)
+
+    def test_chunked_distribution_empty(self):
+        from repro.core.stealing import chunked_distribution
+
+        assert chunked_distribution([], 4) == [0.0] * 4
+
+    def test_modes_constant(self):
+        assert STEALING_MODES == ("full", "none", "region-group")
+
+
+class TestRebalance:
+    def test_relieves_severe_skew(self):
+        queues = [deque([[0] * 10 for _ in range(10)]), deque(), deque()]
+        moves = rebalance(queues)
+        assert moves
+        loads = [sum(len(b) for b in q) for q in queues]
+        # severe skew is brought under the stealing threshold
+        assert max(loads) < 3 * (min(loads) + 10) + 10
+
+    def test_no_moves_when_balanced(self):
+        queues = [deque([[0] * 5]), deque([[0] * 5])]
+        assert rebalance(queues) == []
+
+    def test_no_moves_under_threshold(self):
+        # 2× skew < default threshold 3× → no stealing
+        queues = [deque([[0] * 5, [0] * 5]), deque([[0] * 5])]
+        assert rebalance(queues) == []
+
+    def test_lower_threshold_steals_more(self):
+        queues = [deque([[0] * 5 for _ in range(4)]), deque()]
+        assert rebalance(queues, threshold=1.0)
+
+    def test_donor_keeps_last_batch(self):
+        queues = [deque([[0] * 5]), deque()]
+        assert rebalance(queues) == []
+        assert len(queues[0]) == 1
+
+    def test_single_machine_noop(self):
+        queues = [deque([[0] * 5, [0] * 5])]
+        assert rebalance(queues) == []
+
+    def test_all_empty_noop(self):
+        assert rebalance([deque(), deque()]) == []
+
+    def test_moves_recorded_match_queues(self):
+        big = [[i] * 4 for i in range(8)]  # distinguishable batches
+        queues = [deque(big), deque(), deque()]
+        moves = rebalance(queues)
+        for src, dst, batch in moves:
+            assert batch in queues[dst]
+            assert batch not in queues[src]
+
+    def test_custom_weight(self):
+        queues = [deque(["aaaa", "bbbb", "cc"]), deque()]
+        moves = rebalance(queues, weight=len, threshold=1.0)
+        # a 4-weight item moves to the empty queue, improving balance
+        assert moves
+        assert sum(len(x) for x in queues[1]) >= 4
+
+    def test_terminates_on_pathological_input(self):
+        queues = [deque([[0]] * 1000), deque(), deque(), deque()]
+        moves = rebalance(queues, threshold=1.0)
+        assert len(moves) <= 16 * 4  # bounded sweep

@@ -1,0 +1,142 @@
+"""Tests for Algorithm 2 translation and the §5.2 rewrites."""
+
+import pytest
+
+from repro.core.dataflow import ExtendSpec, JoinSpec, ScanSpec, Segment
+from repro.core.plan import (configure_plan, rads_plan, seed_plan, translate,
+                             wco_plan)
+from repro.query import ExactEstimator, get_query
+
+
+def translate_query(name, plan_builder=wco_plan, **kwargs):
+    q = get_query(name)
+    return translate(configure_plan(plan_builder(q, **kwargs)))
+
+
+class TestSpecs:
+    def test_scan_spec_validation(self):
+        with pytest.raises(ValueError):
+            ScanSpec(schema=(0, 1), order="sideways")
+
+    def test_extend_spec_needs_mode(self):
+        with pytest.raises(ValueError):
+            ExtendSpec(ext=(0,), out_schema=(0, 1))  # neither new nor verify
+        with pytest.raises(ValueError):
+            ExtendSpec(ext=(0,), out_schema=(0, 1), new_vertex=1,
+                       verify_pos=0)  # both
+
+    def test_extend_spec_needs_ext(self):
+        with pytest.raises(ValueError):
+            ExtendSpec(ext=(), out_schema=(0, 1), new_vertex=1)
+
+    def test_join_spec_key_validation(self):
+        with pytest.raises(ValueError):
+            JoinSpec(left_key=(), right_key=(), right_carry=(),
+                     out_schema=(0,))
+        with pytest.raises(ValueError):
+            JoinSpec(left_key=(0,), right_key=(0, 1), right_carry=(),
+                     out_schema=(0,))
+
+    def test_segment_out_schema_defaults(self):
+        seg = Segment(source=ScanSpec(schema=(0, 1)))
+        assert seg.out_schema == (0, 1)
+
+
+class TestWcoTranslation:
+    def test_square_is_scan_plus_two_extends(self):
+        seg = translate_query("q1")
+        assert isinstance(seg.source, ScanSpec)
+        assert len(seg.extends) == 2
+        assert seg.left is None and seg.right is None
+
+    def test_clique_translation_schema_covers_query(self):
+        seg = translate_query("q3")
+        assert set(seg.out_schema) == {0, 1, 2, 3}
+
+    def test_final_extend_of_square_intersects_two(self):
+        seg = translate_query("q1")
+        last = seg.extends[-1]
+        assert len(last.ext) == 2
+        assert last.new_vertex is not None
+
+    def test_conditions_attached_somewhere(self):
+        seg = translate_query("q3")  # clique: 6 conditions
+        n_scan = 1 if seg.source.order else 0
+        n_ext = sum(len(e.candidate_lt) + len(e.candidate_gt)
+                    for e in seg.extends)
+        assert n_scan + n_ext == 6
+
+    def test_operator_count(self):
+        seg = translate_query("q1")
+        assert seg.num_operators == 3
+        assert seg.total_operators() == 3
+        assert seg.max_arity() == 4
+
+
+class TestStarScanRewrite:
+    def test_star_query_becomes_edge_scan_plus_extends(self):
+        """§5.2: SCAN(star with L leaves) → edge scan + (|L|-1) extends"""
+        from repro.query import QueryGraph
+        from repro.core.plan.optimiser import optimal_plan
+        from repro.query import ExactEstimator
+        from repro.graph import generators as gen
+
+        g = gen.erdos_renyi(20, 0.3, seed=1)
+        star = QueryGraph(4, [(0, 1), (0, 2), (0, 3)])
+        plan = optimal_plan(star, ExactEstimator(g), 4, g.num_edges)
+        seg = translate(plan)
+        assert isinstance(seg.source, ScanSpec)
+        assert len(seg.extends) == 2
+        # all extends grow from the root's position
+        for e in seg.extends:
+            assert e.ext == (seg.out_schema.index(0),)
+
+
+class TestPullingHashJoinRewrite:
+    def test_rads_plan_translates_without_push_join(self):
+        """RADS' star-expansions all have matched roots → pure extends"""
+        seg = translate_query("q1", rads_plan)
+        assert isinstance(seg.source, ScanSpec)
+        assert seg.left is None
+
+    def test_verify_extend_present_for_closing_edge(self):
+        # the square via RADS ends with a verification of the closing edge
+        seg = translate_query("q1", rads_plan)
+        assert any(e.is_verify for e in seg.extends)
+
+    def test_verify_extend_keeps_schema(self):
+        seg = translate_query("q1", rads_plan)
+        v = next(e for e in seg.extends if e.is_verify)
+        assert v.out_schema == seg.extends[
+            seg.extends.index(v) - 1].out_schema if seg.extends.index(v) else True
+
+
+class TestPushJoinTranslation:
+    def test_seed_plan_on_path_query_uses_push_join(self, er_graph):
+        est = ExactEstimator(er_graph)
+        seg = translate_query("q6", seed_plan, estimator=est)
+        # the 5-path splits into two wedges joined on pushing
+        assert isinstance(seg.source, JoinSpec)
+        assert seg.left is not None and seg.right is not None
+
+    def test_join_keys_align(self, er_graph):
+        est = ExactEstimator(er_graph)
+        seg = translate_query("q6", seed_plan, estimator=est)
+        spec = seg.source
+        lsch, rsch = seg.left.out_schema, seg.right.out_schema
+        left_key_verts = [lsch[p] for p in spec.left_key]
+        right_key_verts = [rsch[p] for p in spec.right_key]
+        assert left_key_verts == right_key_verts
+
+    def test_out_schema_covers_query(self, er_graph):
+        est = ExactEstimator(er_graph)
+        seg = translate_query("q6", seed_plan, estimator=est)
+        assert set(seg.out_schema) == {0, 1, 2, 3, 4}
+
+    def test_cross_distinct_pairs_disjoint_sides(self, er_graph):
+        est = ExactEstimator(er_graph)
+        seg = translate_query("q6", seed_plan, estimator=est)
+        spec = seg.source
+        for (i, j) in spec.cross_distinct:
+            assert i != j
+            assert spec.out_schema[i] != spec.out_schema[j]
