@@ -17,6 +17,13 @@ Commands
 
 ``motifs``
     Count every k-vertex motif on a dataset.
+
+``conformance``
+    Differential conformance harness (delegates to
+    ``python -m repro.conformance``)::
+
+        python -m repro conformance run --cases 100 --seed 1
+        python -m repro conformance replay artifact.json
 """
 
 from __future__ import annotations
@@ -140,11 +147,24 @@ def build_parser() -> argparse.ArgumentParser:
     common(m)
     m.add_argument("--k", type=int, default=3, choices=(2, 3, 4, 5))
     m.set_defaults(func=_cmd_motifs)
+
+    c = sub.add_parser("conformance",
+                       help="differential conformance harness "
+                            "(python -m repro.conformance)")
+    c.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to repro.conformance")
+    c.set_defaults(func=None)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "conformance":
+        from .conformance import main as conformance_main
+
+        return conformance_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -88,6 +88,17 @@ class EnumerationResult:
     matches: list[Tuple] | None = field(default=None, repr=False)
     """Matches in query-vertex order, if collection was enabled."""
 
+    cache_overflow_ids: int = 0
+    """Worst per-machine cache overflow beyond capacity, in vertex-id
+    units.  The §4.4 invariant bounds this by one batch's remote
+    footprint; the conformance oracles check it."""
+
+    cache_evictions: int = 0
+    """Total cache evictions across machines."""
+
+    cache_capacity_ids: int = 0
+    """The per-machine cache capacity the run was configured with."""
+
     @property
     def throughput_per_s(self) -> float:
         """Matches per simulated second (Exp-3 / Table 4)."""
@@ -181,4 +192,8 @@ class HugeEngine:
             fetch_time_s=self.cluster.cost.ops_to_seconds(ctx.fetch_ops),
             cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
             matches=sink.matches() if config.collect_results else None,
+            cache_overflow_ids=max(
+                (c.stats.max_overflow_ids for c in caches), default=0),
+            cache_evictions=sum(c.stats.evictions for c in caches),
+            cache_capacity_ids=capacity,
         )

@@ -277,10 +277,13 @@ class _ChainRunner:
                 else:
                     if not self.queues[level].batches[m]:
                         break
-                # yield when the output queue is already at capacity
+                # yield when the output queue is already at capacity; an
+                # empty queue never blocks, so capacity 0 degrades to
+                # process-one-batch-then-yield (pure DFS) instead of
+                # livelocking
                 if level < last:
-                    if self.queues[level + 1].tuples[m] >= \
-                            config.output_queue_capacity:
+                    pending = self.queues[level + 1].tuples[m]
+                    if pending and pending >= config.output_queue_capacity:
                         break
 
                 counted = 0

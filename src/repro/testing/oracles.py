@@ -1,0 +1,231 @@
+"""Invariant oracles checked against every conformance case.
+
+Each oracle inspects one :class:`CaseOutcome` (what an engine run
+produced) against the brute-force :class:`Reference` (ground truth) and
+the workload/configuration that produced it:
+
+* ``error`` — the engine must not crash;
+* ``count`` — the symmetry-broken match count equals the reference;
+* ``embeddings`` — the collected embedding *multiset* equals the
+  reference's (HUGE runs; baselines only report counts);
+* ``symmetry`` — ``ordered embeddings = matches × |Aut(q)|``, i.e.
+  symmetry breaking keeps exactly one embedding per instance;
+* ``memory-bound`` — HUGE's peak per-machine memory respects the
+  Theorem 5.4 ``O(|V_q|² · D_G)`` queue bound (plus the configured
+  constant reservations: cache capacity and PUSH-JOIN buffers).  Skipped
+  for pure-BFS runs (infinite queues void the theorem's premise) and for
+  baselines (whose unbounded intermediates are the paper's point);
+* ``cache-overflow`` — the LRBU cache never overflows its capacity by
+  more than one batch's worth of distinct remote vertices (§4.4);
+* ``time-conservation`` — the report satisfies ``T = T_R + T_C`` and
+  ``T = max_m T_m`` exactly (modulo float rounding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.reference import (count_ordered_embeddings,
+                                   enumerate_matches)
+from ..cluster.metrics import RunReport
+from ..query.automorphism import automorphism_count
+from .configs import EngineSpec
+from .workloads import Workload
+
+__all__ = ["ORACLES", "CaseOutcome", "OracleFailure", "Reference",
+           "check_case", "compute_reference"]
+
+#: the oracle names, in checking order
+ORACLES = ("error", "count", "embeddings", "symmetry", "memory-bound",
+           "cache-overflow", "time-conservation")
+
+#: relative tolerance for simulated-time identities
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One violated invariant."""
+
+    oracle: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Reference:
+    """Brute-force ground truth for one workload."""
+
+    count: int
+    ordered_count: int
+    automorphisms: int
+    matches: tuple[tuple[int, ...], ...]
+    """Symmetry-broken embeddings in query-vertex order, sorted."""
+
+
+@dataclass
+class CaseOutcome:
+    """What one engine run produced (as much as the engine exposes)."""
+
+    spec_name: str
+    count: int = 0
+    matches: list[tuple[int, ...]] | None = None
+    report: RunReport | None = None
+    num_push_joins: int = 0
+    cache_overflow_ids: int = 0
+    cache_reserved_ids: int = 0
+    join_buffer_tuples: int = 0
+    bytes_per_id: int = 8
+    error: str | None = None
+    failures: list[OracleFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every oracle passed."""
+        return not self.failures
+
+
+def compute_reference(workload: Workload) -> Reference:
+    """Run the brute-force reference enumerator on a workload."""
+    graph = workload.graph()
+    pattern = workload.pattern()
+    labels = workload.label_array()
+    matches = sorted(enumerate_matches(graph, pattern, labels=labels))
+    ordered = count_ordered_embeddings(graph, pattern, labels=labels)
+    return Reference(
+        count=len(matches),
+        ordered_count=ordered,
+        automorphisms=automorphism_count(pattern),
+        matches=tuple(matches),
+    )
+
+
+# -- individual oracles --------------------------------------------------------
+
+
+def _check_count(outcome: CaseOutcome, ref: Reference) -> OracleFailure | None:
+    if outcome.count != ref.count:
+        return OracleFailure(
+            "count", f"engine counted {outcome.count} symmetry-broken "
+                     f"matches, reference says {ref.count}")
+    return None
+
+
+def _check_embeddings(outcome: CaseOutcome,
+                      ref: Reference) -> OracleFailure | None:
+    if outcome.matches is None:
+        return None
+    got = sorted(tuple(int(x) for x in f) for f in outcome.matches)
+    want = list(ref.matches)
+    if got != want:
+        missing = set(want) - set(got)
+        extra = set(got) - set(want)
+        return OracleFailure(
+            "embeddings",
+            f"embedding multiset diverges from reference: "
+            f"{len(missing)} missing (e.g. {sorted(missing)[:3]}), "
+            f"{len(extra)} unexpected (e.g. {sorted(extra)[:3]}), "
+            f"{len(got)} vs {len(want)} total")
+    return None
+
+
+def _check_symmetry(ref: Reference) -> OracleFailure | None:
+    if ref.count * ref.automorphisms != ref.ordered_count:
+        return OracleFailure(
+            "symmetry",
+            f"symmetry breaking kept {ref.count} of {ref.ordered_count} "
+            f"ordered embeddings, expected ordered/|Aut| = "
+            f"{ref.ordered_count}/{ref.automorphisms}")
+    return None
+
+
+def _check_memory_bound(workload: Workload, spec: EngineSpec,
+                        outcome: CaseOutcome) -> OracleFailure | None:
+    if not spec.is_huge or outcome.report is None:
+        return None
+    if spec.output_queue_capacity == float("inf"):
+        return None  # pure BFS: the theorem's bounded-queue premise is off
+    graph = workload.graph()
+    q = workload.pattern_num_vertices
+    deg = max(1, graph.max_degree)
+    bpi = outcome.bytes_per_id
+    # Theorem 5.4: every operator queue holds at most its capacity plus the
+    # expansion of one in-flight batch (≤ batch · D_G tuples of ≤ |V_q| ids)
+    queue_ids = (q * q) * deg * (spec.output_queue_capacity
+                                 + spec.batch_size * deg)
+    # configured constant reservations on top of the queue bound
+    constant_ids = outcome.cache_reserved_ids
+    join_ids = outcome.num_push_joins * 2 * outcome.join_buffer_tuples * q
+    bound = (queue_ids + constant_ids + join_ids) * bpi
+    peak = outcome.report.peak_memory_bytes
+    if peak > bound:
+        return OracleFailure(
+            "memory-bound",
+            f"peak memory {peak:.0f}B exceeds the Theorem 5.4 bound "
+            f"{bound:.0f}B (|Vq|={q}, D_G={deg}, "
+            f"queue={spec.output_queue_capacity}, batch={spec.batch_size})")
+    return None
+
+
+def _check_cache_overflow(workload: Workload, spec: EngineSpec,
+                          outcome: CaseOutcome) -> OracleFailure | None:
+    if not spec.is_huge:
+        return None
+    graph = workload.graph()
+    q = workload.pattern_num_vertices
+    # §4.4: Insert may overflow only while S_free is empty, i.e. by at most
+    # the footprint of the in-flight batch's distinct remote vertices —
+    # ≤ batch · |V_q| vertices of ≤ D_G + 1 ids each
+    bound = spec.batch_size * q * (graph.max_degree + 1)
+    if outcome.cache_overflow_ids > bound:
+        return OracleFailure(
+            "cache-overflow",
+            f"LRBU overflowed capacity by {outcome.cache_overflow_ids} ids, "
+            f"more than one batch's remote footprint ({bound} ids)")
+    return None
+
+
+def _check_time_conservation(outcome: CaseOutcome) -> OracleFailure | None:
+    rep = outcome.report
+    if rep is None:
+        return None
+    tol = _REL_TOL * max(1.0, rep.total_time_s)
+    if rep.comm_time_s < 0 or rep.compute_time_s < 0:
+        return OracleFailure(
+            "time-conservation",
+            f"negative component time: T_R={rep.compute_time_s}, "
+            f"T_C={rep.comm_time_s}")
+    if abs(rep.total_time_s
+           - (rep.compute_time_s + rep.comm_time_s)) > tol:
+        return OracleFailure(
+            "time-conservation",
+            f"T != T_R + T_C: {rep.total_time_s} vs "
+            f"{rep.compute_time_s} + {rep.comm_time_s}")
+    if rep.per_machine_time_s and abs(
+            rep.total_time_s - max(rep.per_machine_time_s)) > tol:
+        return OracleFailure(
+            "time-conservation",
+            f"T != max per-machine time: {rep.total_time_s} vs "
+            f"{max(rep.per_machine_time_s)}")
+    return None
+
+
+def check_case(workload: Workload, spec: EngineSpec, outcome: CaseOutcome,
+               ref: Reference) -> list[OracleFailure]:
+    """Run every applicable oracle; returns the violations (empty = pass)."""
+    if outcome.error is not None:
+        return [OracleFailure("error", outcome.error)]
+    failures = []
+    for failure in (
+        _check_count(outcome, ref),
+        _check_embeddings(outcome, ref),
+        _check_symmetry(ref),
+        _check_memory_bound(workload, spec, outcome),
+        _check_cache_overflow(workload, spec, outcome),
+        _check_time_conservation(outcome),
+    ):
+        if failure is not None:
+            failures.append(failure)
+    return failures

@@ -1,0 +1,98 @@
+"""Hypothesis strategies shared between ``tests/`` and the harness.
+
+Kept inside the package so property tests and the conformance subsystem
+draw structurally identical inputs — a divergence between "what the tests
+explore" and "what the fuzzer explores" is itself a coverage bug.  This
+module is the only part of :mod:`repro.testing` that imports hypothesis;
+the harness proper runs without it (the CLI must work in production
+images where only numpy is installed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from ..graph.graph import Graph
+from ..query.pattern import QueryGraph
+
+__all__ = ["graphs", "degenerate_graphs", "labelled_graphs", "patterns",
+           "labelled_patterns", "engine_knobs"]
+
+
+@st.composite
+def graphs(draw, min_vertices: int = 4, max_vertices: int = 14,
+           min_edges: int = 3):
+    """Random simple graphs (the original ``test_property`` strategy)."""
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), min_size=min_edges,
+                          max_size=len(possible), unique=True))
+    return Graph.from_edges(edges, num_vertices=n)
+
+
+@st.composite
+def degenerate_graphs(draw, max_vertices: int = 14):
+    """Graphs real datasets never look like: guaranteed isolated vertices
+    and typically several small components (self-loop-free)."""
+    n = draw(st.integers(min_value=5, max_value=max_vertices))
+    isolated = draw(st.integers(min_value=1, max_value=max(1, n // 3)))
+    live = n - isolated
+    if live >= 2:
+        possible = [(u, v) for u in range(live) for v in range(u + 1, live)]
+        # few edges relative to vertices → usually > 1 component
+        edges = draw(st.lists(st.sampled_from(possible), min_size=0,
+                              max_size=max(1, live), unique=True))
+    else:
+        edges = []
+    return Graph.from_edges(edges, num_vertices=n)
+
+
+@st.composite
+def labelled_graphs(draw, max_vertices: int = 14, num_labels: int = 3):
+    """A graph plus a per-vertex label array."""
+    g = draw(graphs(max_vertices=max_vertices))
+    labels = draw(st.lists(
+        st.integers(min_value=0, max_value=num_labels - 1),
+        min_size=g.num_vertices, max_size=g.num_vertices))
+    return g, np.asarray(labels, dtype=np.int64)
+
+
+@st.composite
+def patterns(draw, min_vertices: int = 3, max_vertices: int = 4):
+    """Small connected patterns (spanning path + random extra edges)."""
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = {(i, i + 1) for i in range(n - 1)}
+    extra = draw(st.lists(st.sampled_from(possible), max_size=4))
+    edges.update(extra)
+    return QueryGraph(n, edges)
+
+
+@st.composite
+def labelled_patterns(draw, max_vertices: int = 4, num_labels: int = 3):
+    """Connected patterns with a mix of label constraints and wildcards."""
+    q = draw(patterns(max_vertices=max_vertices))
+    labels = draw(st.lists(
+        st.one_of(st.none(),
+                  st.integers(min_value=0, max_value=num_labels - 1)),
+        min_size=q.num_vertices, max_size=q.num_vertices))
+    return QueryGraph(q.num_vertices, q.edges, labels=labels)
+
+
+@st.composite
+def engine_knobs(draw):
+    """Random scheduler/cache knobs within the supported envelope, as
+    kwargs for :class:`~repro.core.engine.EngineConfig`."""
+    from ..core.cache import CACHE_VARIANTS
+    from ..core.stealing import STEALING_MODES
+
+    return {
+        "batch_size": draw(st.sampled_from([1, 8, 64, 1024])),
+        "output_queue_capacity": draw(
+            st.sampled_from([0.0, 16.0, 16384.0, float("inf")])),
+        "stealing": draw(st.sampled_from(STEALING_MODES)),
+        "cache_variant": draw(st.sampled_from(CACHE_VARIANTS)),
+        "cache_capacity_ids": draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=64))),
+    }

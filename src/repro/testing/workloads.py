@@ -1,0 +1,261 @@
+"""Randomized conformance workloads: graph × pattern × cluster shape.
+
+A :class:`Workload` is fully materialised (explicit edge list, labels and
+pattern) so that a failing case can be shrunk edge-by-edge and serialised
+into a replayable JSON artifact — regenerating from a seed would tie the
+artifact to the exact generator version.  The generation seed is kept for
+provenance only.
+
+Graph families mirror the paper's dataset spread (§7.1): uniform random,
+power-law (social), clustered power-law (web-ish triangles), plus a
+degenerate family — sparse random edge sets with isolated vertices and
+multiple components — that exercises the empty-result paths real datasets
+never hit.  Patterns are the paper queries ``q1 .. q7`` (and the triangle)
+plus random connected patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..graph import generators
+from ..graph.graph import Graph
+from ..query.pattern import QueryGraph, get_query
+
+__all__ = ["GRAPH_KINDS", "PAPER_PATTERNS", "Workload", "random_pattern",
+           "random_workload"]
+
+#: graph families the generator draws from
+GRAPH_KINDS = ("uniform", "power-law", "clustered", "degenerate")
+
+#: paper queries used as-is (q8 is excluded: 6-cycle counting on the
+#: brute-force reference dominates smoke-run time for little extra cover)
+PAPER_PATTERNS = ("triangle", "q1", "q2", "q3", "q4", "q5", "q6", "q7")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One fully-specified conformance case input."""
+
+    num_vertices: int
+    edges: tuple[tuple[int, int], ...]
+    labels: tuple[int, ...] | None
+    pattern_name: str
+    pattern_num_vertices: int
+    pattern_edges: tuple[tuple[int, int], ...]
+    pattern_labels: tuple[int | None, ...] | None
+    num_machines: int = 2
+    workers_per_machine: int = 2
+    partition_seed: int = 0
+    seed: int = 0
+    """Generation seed (provenance only; the workload is materialised)."""
+
+    # -- materialisation -----------------------------------------------------
+
+    def graph(self) -> Graph:
+        """The data graph."""
+        return Graph.from_edges(self.edges, num_vertices=self.num_vertices)
+
+    def label_array(self) -> np.ndarray | None:
+        """Per-vertex data labels, or ``None`` for unlabelled graphs."""
+        if self.labels is None:
+            return None
+        return np.asarray(self.labels, dtype=np.int64)
+
+    def pattern(self) -> QueryGraph:
+        """The query pattern."""
+        return QueryGraph(self.pattern_num_vertices, self.pattern_edges,
+                          name=self.pattern_name,
+                          labels=self.pattern_labels)
+
+    @property
+    def is_labelled(self) -> bool:
+        """Whether the data graph carries vertex labels."""
+        return self.labels is not None
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        lab = "labelled" if self.is_labelled else "unlabelled"
+        return (f"{self.pattern_name} on |V|={self.num_vertices} "
+                f"|E|={len(self.edges)} {lab} graph, "
+                f"{self.num_machines}x{self.workers_per_machine} cluster, "
+                f"seed={self.seed}")
+
+    # -- shrinking support ----------------------------------------------------
+
+    def with_edges(self, edges: Sequence[tuple[int, int]]) -> "Workload":
+        """Copy with a reduced edge set (same vertex count)."""
+        return replace(self, edges=tuple(tuple(e) for e in edges))
+
+    def without_labels(self) -> "Workload":
+        """Copy with all data and pattern labels stripped."""
+        return replace(self, labels=None, pattern_labels=None)
+
+    def compact(self) -> "Workload":
+        """Copy with vertices untouched by any edge removed and the
+        remaining ids renumbered densely (isolated vertices cannot host a
+        pattern vertex, but the shrinker re-verifies the failure anyway)."""
+        used = sorted({v for e in self.edges for v in e})
+        if len(used) == self.num_vertices:
+            return self
+        remap = {old: new for new, old in enumerate(used)}
+        labels = None
+        if self.labels is not None:
+            labels = tuple(self.labels[old] for old in used)
+        return replace(
+            self, num_vertices=len(used),
+            edges=tuple((remap[u], remap[v]) for u, v in self.edges),
+            labels=labels)
+
+    # -- (de)serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "num_vertices": self.num_vertices,
+            "edges": [list(e) for e in self.edges],
+            "labels": list(self.labels) if self.labels is not None else None,
+            "pattern_name": self.pattern_name,
+            "pattern_num_vertices": self.pattern_num_vertices,
+            "pattern_edges": [list(e) for e in self.pattern_edges],
+            "pattern_labels": (list(self.pattern_labels)
+                               if self.pattern_labels is not None else None),
+            "num_machines": self.num_machines,
+            "workers_per_machine": self.workers_per_machine,
+            "partition_seed": self.partition_seed,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Workload":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            num_vertices=int(d["num_vertices"]),
+            edges=tuple((int(u), int(v)) for u, v in d["edges"]),
+            labels=(tuple(int(x) for x in d["labels"])
+                    if d.get("labels") is not None else None),
+            pattern_name=str(d["pattern_name"]),
+            pattern_num_vertices=int(d["pattern_num_vertices"]),
+            pattern_edges=tuple((int(u), int(v))
+                                for u, v in d["pattern_edges"]),
+            pattern_labels=(tuple(None if x is None else int(x)
+                                  for x in d["pattern_labels"])
+                            if d.get("pattern_labels") is not None else None),
+            num_machines=int(d.get("num_machines", 2)),
+            workers_per_machine=int(d.get("workers_per_machine", 2)),
+            partition_seed=int(d.get("partition_seed", 0)),
+            seed=int(d.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_parts(cls, graph: Graph, pattern: QueryGraph,
+                   labels: np.ndarray | None = None,
+                   num_machines: int = 2, workers_per_machine: int = 2,
+                   partition_seed: int = 0, seed: int = 0) -> "Workload":
+        """Build a workload from already-constructed objects."""
+        return cls(
+            num_vertices=graph.num_vertices,
+            edges=tuple(graph.edges()),
+            labels=(tuple(int(x) for x in labels)
+                    if labels is not None else None),
+            pattern_name=pattern.name,
+            pattern_num_vertices=pattern.num_vertices,
+            pattern_edges=tuple(sorted(pattern.edges)),
+            pattern_labels=(pattern.labels if pattern.is_labelled else None),
+            num_machines=num_machines,
+            workers_per_machine=workers_per_machine,
+            partition_seed=partition_seed,
+            seed=seed,
+        )
+
+
+# -- random generation ---------------------------------------------------------
+
+
+def random_pattern(rng: np.random.Generator,
+                   max_vertices: int = 4) -> QueryGraph:
+    """A random connected unlabelled pattern on 3..``max_vertices`` vertices
+    (spanning path plus random extra edges, like the tests' strategy)."""
+    n = int(rng.integers(3, max_vertices + 1))
+    edges = {(i, i + 1) for i in range(n - 1)}
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    extras = int(rng.integers(0, len(possible) + 1))
+    for idx in rng.choice(len(possible), size=extras, replace=False):
+        edges.add(possible[int(idx)])
+    return QueryGraph(n, edges, name=f"rand{n}v{len(edges)}e")
+
+
+def _random_graph(rng: np.random.Generator, kind: str,
+                  max_vertices: int) -> Graph:
+    gseed = int(rng.integers(0, 2 ** 31))
+    if kind == "uniform":
+        n = int(rng.integers(6, max_vertices + 1))
+        p = float(rng.uniform(0.15, 0.45))
+        return generators.erdos_renyi(n, p, seed=gseed)
+    if kind == "power-law":
+        n = int(rng.integers(6, max_vertices + 1))
+        m = int(rng.integers(1, min(4, n - 1)))
+        return generators.barabasi_albert(n, m, seed=gseed)
+    if kind == "clustered":
+        n = int(rng.integers(6, max_vertices + 1))
+        m = int(rng.integers(1, min(4, n - 1)))
+        return generators.power_law_cluster(
+            n, m, triad_p=float(rng.uniform(0.3, 0.9)), seed=gseed)
+    if kind == "degenerate":
+        # sparse random edge set: isolated vertices and several components
+        n = int(rng.integers(5, max_vertices + 1))
+        num_edges = int(rng.integers(0, max(1, n)))
+        edges = []
+        for _ in range(num_edges):
+            u, v = int(rng.integers(n)), int(rng.integers(n))
+            if u != v:
+                edges.append((u, v))
+        return Graph.from_edges(edges, num_vertices=n)
+    raise ValueError(f"unknown graph kind {kind!r}; "
+                     f"choose from {GRAPH_KINDS}")
+
+
+def random_workload(seed: int, max_vertices: int = 14,
+                    labelled_fraction: float = 0.25,
+                    num_labels: int = 3) -> Workload:
+    """Generate one deterministic workload from ``seed``.
+
+    Large patterns (≥ 5 vertices) are paired with smaller graphs to keep
+    the brute-force reference fast enough for smoke runs.
+    """
+    rng = np.random.default_rng(seed)
+    kind = GRAPH_KINDS[int(rng.integers(len(GRAPH_KINDS)))]
+
+    if rng.random() < 0.6:
+        pattern = get_query(PAPER_PATTERNS[int(rng.integers(
+            len(PAPER_PATTERNS)))])
+    else:
+        pattern = random_pattern(rng)
+    if pattern.num_vertices >= 5:
+        max_vertices = min(max_vertices, 11)
+    graph = _random_graph(rng, kind, max_vertices)
+
+    labels: np.ndarray | None = None
+    pattern_labels: tuple[int | None, ...] | None = None
+    if rng.random() < labelled_fraction:
+        labels = rng.integers(0, num_labels, size=graph.num_vertices)
+        # constrain about half the pattern vertices; the rest stay wildcards
+        pattern_labels = tuple(
+            int(rng.integers(num_labels)) if rng.random() < 0.5 else None
+            for _ in range(pattern.num_vertices))
+        if any(l is not None for l in pattern_labels):
+            pattern = QueryGraph(pattern.num_vertices, pattern.edges,
+                                 name=pattern.name + "-lab",
+                                 labels=pattern_labels)
+        else:
+            pattern_labels = None
+
+    return Workload.from_parts(
+        graph, pattern, labels=labels,
+        num_machines=int(rng.integers(1, 4)),
+        workers_per_machine=int(rng.integers(1, 3)),
+        partition_seed=int(rng.integers(0, 8)),
+        seed=seed)

@@ -1,11 +1,42 @@
-"""Shared fixtures: small graphs, clusters, engines."""
+"""Shared fixtures: small graphs, clusters, engines — plus the ``--slow``
+switch that raises hypothesis example counts and enables the soak-style
+tests marked ``@pytest.mark.slow``."""
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.cluster import Cluster, CostModel
 from repro.graph import generators as gen
+
+settings.register_profile(
+    "default", max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "slow", max_examples=200, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slow", action="store_true", default=False,
+        help="run slow-marked tests and raise hypothesis example counts")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running soak tests (enable with --slow)")
+    settings.load_profile("slow" if config.getoption("--slow") else "default")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--slow"):
+        return
+    skip = pytest.mark.skip(reason="slow test: pass --slow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

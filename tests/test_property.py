@@ -4,11 +4,18 @@ Strategy: generate random small graphs and exercise the full pipeline —
 all engines must agree with the brute-force reference; symmetry breaking
 must keep exactly one embedding per instance; the LRBU cache must honour
 its sealing/overflow contract under arbitrary operation sequences.
+
+Strategies are shared with the conformance harness
+(:mod:`repro.testing.strategies`), so the property tests and the fuzzer
+explore structurally identical inputs — including labelled graphs and the
+degenerate shapes (isolated vertices, multi-component graphs) real
+datasets never contain.  Example counts follow the hypothesis profile
+selected in ``conftest.py``: 25 by default, 200 under ``--slow``.
 """
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import (BenuEngine, BigJoinEngine, RadsEngine,
@@ -17,50 +24,21 @@ from repro.baselines import (BenuEngine, BigJoinEngine, RadsEngine,
 from repro.cluster import Cluster
 from repro.core import HugeEngine, LRBUCache
 from repro.cluster import CostModel
-from repro.graph import Graph
-from repro.query import (QueryGraph, automorphism_count, get_query,
-                         symmetry_break)
-
-# -- strategies ----------------------------------------------------------------
-
-
-@st.composite
-def graphs(draw, max_vertices=14):
-    n = draw(st.integers(min_value=4, max_value=max_vertices))
-    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    edges = draw(st.lists(st.sampled_from(possible), min_size=3,
-                          max_size=len(possible), unique=True))
-    return Graph.from_edges(edges, num_vertices=n)
-
-
-@st.composite
-def patterns(draw):
-    """small connected patterns"""
-    n = draw(st.integers(min_value=3, max_value=4))
-    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    # start from a random spanning path to guarantee connectivity
-    edges = {(i, i + 1) for i in range(n - 1)}
-    extra = draw(st.lists(st.sampled_from(possible), max_size=4))
-    edges.update(extra)
-    return QueryGraph(n, edges)
-
-
-SLOW = settings(max_examples=25, deadline=None,
-                suppress_health_check=[HealthCheck.too_slow])
-
+from repro.query import (automorphism_count, get_query, symmetry_break)
+from repro.testing.strategies import (degenerate_graphs, graphs,
+                                      labelled_graphs, labelled_patterns,
+                                      patterns)
 
 # -- properties ------------------------------------------------------------------
 
 
 class TestEngineAgreement:
-    @SLOW
     @given(g=graphs(), seed=st.integers(min_value=0, max_value=3))
     def test_huge_matches_reference(self, g, seed):
         q = get_query("triangle")
         cl = Cluster(g, num_machines=3, workers_per_machine=2, seed=seed)
         assert HugeEngine(cl).run(q).count == count_matches(g, q)
 
-    @SLOW
     @given(g=graphs(max_vertices=12))
     def test_all_engines_agree_on_square(self, g):
         q = get_query("q1")
@@ -72,29 +50,69 @@ class TestEngineAgreement:
         assert BenuEngine(cl).run(q).count == expect
         assert RadsEngine(cl).run(q).count == expect
 
-    @SLOW
     @given(g=graphs(max_vertices=10), q=patterns())
     def test_huge_on_random_patterns(self, g, q):
         cl = Cluster(g, num_machines=2, workers_per_machine=2, seed=0)
         assert HugeEngine(cl).run(q).count == count_matches(g, q)
 
+    @given(g=degenerate_graphs(), q=patterns())
+    def test_huge_on_degenerate_graphs(self, g, q):
+        """Isolated vertices and multi-component graphs: counts (often 0)
+        still agree with the reference."""
+        cl = Cluster(g, num_machines=2, workers_per_machine=2, seed=0)
+        assert HugeEngine(cl).run(q).count == count_matches(g, q)
+
+    @given(g=degenerate_graphs(max_vertices=10))
+    def test_baselines_on_degenerate_graphs(self, g):
+        q = get_query("triangle")
+        cl = Cluster(g, num_machines=2, workers_per_machine=2, seed=1)
+        expect = count_matches(g, q)
+        assert BigJoinEngine(cl).run(q).count == expect
+        assert BenuEngine(cl).run(q).count == expect
+
+    @given(gl=labelled_graphs(max_vertices=10), q=labelled_patterns())
+    def test_huge_on_labelled_graphs(self, gl, q):
+        g, labels = gl
+        cl = Cluster(g, num_machines=2, workers_per_machine=2, seed=0,
+                     labels=labels)
+        assert HugeEngine(cl).run(q).count == count_matches(
+            g, q, labels=labels)
+
+    @pytest.mark.slow
+    @given(g=graphs(max_vertices=11), q=patterns())
+    @settings(max_examples=100)
+    def test_all_engines_agree_on_random_patterns(self, g, q):
+        """Soak: the full engine set on arbitrary connected patterns."""
+        cl = Cluster(g, num_machines=3, workers_per_machine=2, seed=2)
+        expect = count_matches(g, q)
+        assert HugeEngine(cl).run(q).count == expect
+        assert SeedEngine(cl).run(q).count == expect
+        assert BigJoinEngine(cl).run(q).count == expect
+        assert BenuEngine(cl).run(q).count == expect
+        assert RadsEngine(cl).run(q).count == expect
+
 
 class TestSymmetryProperties:
-    @SLOW
     @given(g=graphs(max_vertices=10), q=patterns())
     def test_aut_divides_ordered_count(self, g, q):
         ordered = count_ordered_embeddings(g, q)
         assert ordered % automorphism_count(q) == 0
 
-    @SLOW
     @given(g=graphs(max_vertices=10), q=patterns())
     def test_symmetry_break_keeps_exactly_one(self, g, q):
         ordered = count_ordered_embeddings(g, q)
         matched = count_matches(g, q)
         assert matched * automorphism_count(q) == ordered
 
+    @given(gl=labelled_graphs(max_vertices=10), q=labelled_patterns())
+    def test_labelled_symmetry_break_keeps_exactly_one(self, gl, q):
+        g, labels = gl
+        ordered = count_ordered_embeddings(g, q, labels=labels)
+        matched = count_matches(g, q, labels=labels)
+        assert matched * automorphism_count(q) == ordered
+
     @given(q=patterns())
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_conditions_reference_valid_vertices(self, q):
         for (u, v) in symmetry_break(q):
             assert 0 <= u < q.num_vertices
@@ -107,7 +125,7 @@ class TestCacheProperties:
         st.tuples(st.sampled_from(["insert", "seal", "release"]),
                   st.integers(min_value=0, max_value=20)),
         max_size=120), capacity=st.integers(min_value=2, max_value=30))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_lrbu_invariants_under_random_ops(self, ops, capacity):
         cache = LRBUCache(capacity, CostModel())
         sealed_since_release: set[int] = set()
@@ -133,7 +151,7 @@ class TestCacheProperties:
 
     @given(vids=st.lists(st.integers(min_value=0, max_value=1000),
                          min_size=1, max_size=200))
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_lrbu_never_loses_unsealed_data_silently(self, vids):
         """whatever is reported contained must be retrievable"""
         cache = LRBUCache(16, CostModel())
@@ -145,22 +163,41 @@ class TestCacheProperties:
 
 class TestGraphProperties:
     @given(g=graphs())
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_degree_sum(self, g):
         assert int(g.degrees().sum()) == 2 * g.num_edges
 
     @given(g=graphs())
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_neighbours_symmetric(self, g):
         for u, v in g.edges():
             assert g.has_edge(v, u)
 
+    @given(g=degenerate_graphs())
+    @settings(max_examples=50)
+    def test_degenerate_isolated_vertices_have_no_neighbours(self, g):
+        degs = g.degrees()
+        assert (degs == 0).any()  # the strategy guarantees isolation
+        for v in g.vertices():
+            assert len(g.neighbours(v)) == g.degree(v)
+
     @given(g=graphs(), k=st.integers(min_value=1, max_value=5))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_partition_is_a_partition(self, g, k):
         from repro.graph import PartitionedGraph
 
         pg = PartitionedGraph(g, k, seed=0)
+        seen = []
+        for p in range(k):
+            seen.extend(int(v) for v in pg.local_vertices(p))
+        assert sorted(seen) == list(g.vertices())
+
+    @given(g=degenerate_graphs(), k=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30)
+    def test_partition_covers_isolated_vertices(self, g, k):
+        from repro.graph import PartitionedGraph
+
+        pg = PartitionedGraph(g, k, seed=1)
         seen = []
         for p in range(k):
             seen.extend(int(v) for v in pg.local_vertices(p))

@@ -117,3 +117,79 @@ class TestRebalance:
         queues = [deque([[0]] * 1000), deque(), deque(), deque()]
         moves = rebalance(queues, threshold=1.0)
         assert len(moves) <= 16 * 4  # bounded sweep
+
+
+class TestStealFromFront:
+    """Steal-half semantics: thieves take from the *front* of the donor's
+    deque (the oldest, coarsest work), never the batch the donor is about
+    to process from the back — matching the steal-half-from-front deques
+    of §5.3."""
+
+    def test_steals_oldest_batches_first(self):
+        batches = [[i] * 5 for i in range(6)]  # [0,...] is oldest
+        queues = [deque(batches), deque()]
+        moves = rebalance(queues, threshold=1.0)
+        assert moves
+        stolen = [b for _, _, b in moves]
+        # the stolen set is exactly a prefix of the donor's original deque
+        assert stolen == batches[: len(stolen)]
+
+    def test_remaining_batches_keep_order(self):
+        batches = [[i] * 5 for i in range(6)]
+        queues = [deque(batches), deque()]
+        moves = rebalance(queues, threshold=1.0)
+        kept = list(queues[0])
+        assert kept == batches[len(moves):]
+
+    def test_donor_retains_at_least_one_batch(self):
+        for n in range(1, 8):
+            queues = [deque([[0] * 9 for _ in range(n)]), deque(), deque()]
+            rebalance(queues, threshold=1.0)
+            assert len(queues[0]) >= 1
+
+    def test_batch_conservation(self):
+        batches = [[i] * (1 + i % 3) for i in range(12)]
+        queues = [deque(batches[:8]), deque(batches[8:]), deque()]
+        before = sorted(map(tuple, batches))
+        rebalance(queues, threshold=1.0)
+        after = sorted(tuple(b) for q in queues for b in q)
+        assert after == before
+
+
+class TestTerminationDetection:
+    """Inter-machine termination: once a rebalance pass settles, the
+    system is at a fixed point — re-running stealing on the post-steal
+    state performs no further moves, so idle machines can safely
+    conclude the operator is drained (no oscillation, no livelock)."""
+
+    def test_rebalance_reaches_fixed_point(self):
+        queues = [deque([[0] * 4 for _ in range(10)]), deque(), deque()]
+        first = rebalance(queues)
+        assert first  # severe skew → at least one steal
+        assert rebalance(queues) == []  # settled: nothing more to move
+
+    def test_fixed_point_under_low_threshold(self):
+        queues = [deque([[0] * 3 for _ in range(9)]), deque(), deque()]
+        rebalance(queues, threshold=1.0)
+        assert rebalance(queues, threshold=1.0) == []
+
+    def test_empty_system_terminates_immediately(self):
+        assert rebalance([deque(), deque(), deque()]) == []
+
+    def test_single_machine_terminates_immediately(self):
+        assert rebalance([deque([[0] * 4, [0] * 4])]) == []
+
+    def test_no_oscillation_between_two_machines(self):
+        # near-balanced loads must not trade batches back and forth
+        queues = [deque([[0] * 5, [0] * 4]), deque([[0] * 4])]
+        for _ in range(3):
+            assert rebalance(queues) == []
+
+    def test_repeated_passes_are_stable(self):
+        queues = [deque([[i] * 2 for i in range(20)]), deque(), deque(),
+                  deque()]
+        rebalance(queues, threshold=1.0)
+        snapshot = [list(q) for q in queues]
+        for _ in range(3):
+            rebalance(queues, threshold=1.0)
+        assert [list(q) for q in queues] == snapshot
