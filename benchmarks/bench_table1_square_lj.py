@@ -14,7 +14,8 @@ volume; BiGJoin the best baseline; BENU slowest and compute-dominated
 with the largest memory.
 """
 
-from common import emit, format_table, make_cluster, run_engine
+from common import (emit, format_table, make_cluster, result_record,
+                    run_engine)
 
 ENGINES = ["SEED", "BiGJoin", "BENU", "RADS", "HUGE"]
 
@@ -49,7 +50,8 @@ def test_table1_square_on_lj(benchmark):
         "Table 1 — square (q1) on LJ stand-in, k=10 (simulated)",
         ["Work", "T(s)", "T_R(s)", "T_C(s)", "C(MB)", "M(MB)", "matches",
          "vs HUGE"],
-        rows))
+        rows),
+        records={n: result_record(r) for n, r in results.items()})
 
     counts = {r.count for r in results.values()}
     assert len(counts) == 1, "engines disagree on the match count"

@@ -13,6 +13,7 @@ paper's 00M / 0T outcomes reproduce.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Callable
 
@@ -86,12 +87,36 @@ def format_table(title: str, headers: list[str],
     return "\n".join(lines)
 
 
-def emit(name: str, text: str) -> None:
-    """Print a result table (bypassing capture) and persist it."""
+def result_record(result) -> dict:
+    """One machine-readable record per engine run.
+
+    Accepts an :class:`EnumerationResult` / :class:`BaselineResult` (via
+    their ``as_dict``) or the ``"00M"`` / ``"0T"`` failure markers, which
+    become ``{"outcome": marker}``.
+    """
+    if isinstance(result, str):
+        return {"outcome": result}
+    record = result.as_dict()
+    record["outcome"] = "ok"
+    return record
+
+
+def emit(name: str, text: str, records=None) -> None:
+    """Print a result table (bypassing capture) and persist it.
+
+    With ``records`` (a JSON-serialisable object, typically a dict of
+    :func:`result_record` values), also writes ``results/<name>.json``
+    so tables can be diffed and post-processed without re-running.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
               encoding="utf-8") as f:
         f.write(text + "\n")
+    if records is not None:
+        with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump(records, f, indent=2, sort_keys=True)
+            f.write("\n")
     print("\n" + text, flush=True)
 
 

@@ -12,6 +12,13 @@ Commands
 ``plan``
     Show the Algorithm-1 execution plan for a pattern on a dataset.
 
+``explain``
+    Show the plan, or — with ``--analyze`` — run it under tracing and
+    annotate every plan node with actual tuples/time/bytes/hit-rate next
+    to the optimiser's estimates::
+
+        python -m repro explain --data GO --pattern q1 --analyze
+
 ``datasets``
     List the built-in stand-in datasets (Table 3).
 
@@ -45,10 +52,15 @@ def _load_graph(spec: str, scale: float):
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.cypher and (args.trace or args.json):
+        print("error: --trace/--json are not supported with --cypher",
+              file=sys.stderr)
+        return 2
     graph = _load_graph(args.data, args.scale)
     cluster = Cluster(graph, num_machines=args.machines,
                       workers_per_machine=args.workers, seed=args.seed)
-    print(f"data graph: {graph}")
+    if not args.json:
+        print(f"data graph: {graph}")
     if args.cypher:
         from .apps.cypher import execute_cypher
 
@@ -62,17 +74,54 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         engine = HugeEngine(cluster,
                             EngineConfig(collect_results=args.show > 0))
-        res = engine.run(get_query(args.pattern))
+        tracer = None
+        if args.trace:
+            from .obs.trace import Tracer
+
+            tracer = Tracer()
+        res = engine.run(get_query(args.pattern), tracer=tracer)
+        if args.trace:
+            res.trace.save(args.trace)
+        if args.json:
+            import json
+
+            print(json.dumps(res.as_dict(), indent=2))
+            return 0
         print(f"matches: {res.count}")
         if args.show:
             for match in (res.matches or [])[: args.show]:
                 print(f"  {match}")
+        if args.trace:
+            cov = res.trace.coverage(res.report.total_time_s,
+                                     res.report.per_machine_time_s)
+            print(f"trace: {len(res.trace.spans)} spans -> {args.trace} "
+                  f"(covering {cov:.1%} of total time; load in "
+                  f"https://ui.perfetto.dev)")
         report = res.report
     print(f"simulated time: {report.total_time_s:.4f}s "
           f"(compute {report.compute_time_s:.4f}s, "
           f"comm {report.comm_time_s:.4f}s)")
     print(f"transferred: {report.bytes_transferred / 1e6:.2f} MB; "
           f"peak machine memory: {report.peak_memory_bytes / 1e6:.2f} MB")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.data, args.scale)
+    cluster = Cluster(graph, num_machines=args.machines,
+                      workers_per_machine=args.workers, seed=args.seed)
+    engine = HugeEngine(cluster)
+    query = get_query(args.pattern)
+    if not args.analyze:
+        print(engine.plan(query).describe())
+        return 0
+    from .obs.analyze import analyze
+
+    report = analyze(engine, query)
+    print(report.render())
+    if args.trace:
+        report.result.trace.save(args.trace)
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -133,12 +182,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the first N matches")
     q.add_argument("--limit", type=int, default=10,
                    help="max rows to print for Cypher projections")
+    q.add_argument("--trace", metavar="FILE",
+                   help="record a span trace and write Chrome trace_event "
+                        "JSON (open in Perfetto) to FILE")
+    q.add_argument("--json", action="store_true",
+                   help="print the result as JSON instead of text")
     q.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("plan", help="show the Algorithm-1 plan")
     common(p)
     p.add_argument("--pattern", default="q1", choices=sorted(QUERIES))
     p.set_defaults(func=_cmd_plan)
+
+    e = sub.add_parser("explain",
+                       help="show the plan; with --analyze, run it traced "
+                            "and annotate nodes with actuals")
+    common(e)
+    e.add_argument("--pattern", default="q1", choices=sorted(QUERIES))
+    e.add_argument("--analyze", action="store_true",
+                   help="execute the plan and report per-node actuals "
+                        "next to the optimiser's estimates")
+    e.add_argument("--trace", metavar="FILE",
+                   help="with --analyze, also write the Chrome trace")
+    e.set_defaults(func=_cmd_explain)
 
     d = sub.add_parser("datasets", help="list stand-in datasets")
     d.set_defaults(func=_cmd_datasets)

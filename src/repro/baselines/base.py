@@ -57,6 +57,15 @@ class BaselineResult:
             return 0.0
         return self.count / self.report.total_time_s
 
+    def as_dict(self) -> dict:
+        """JSON-ready summary (same shape as ``EnumerationResult.as_dict``)."""
+        return {
+            "engine": self.name,
+            "count": self.count,
+            "throughput_per_s": self.throughput_per_s,
+            "report": self.report.as_dict(),
+        }
+
 
 def new_conditions(schema: Sequence[int], applied: set[tuple[int, int]],
                    conditions: PartialOrder) -> list[tuple[int, int]]:

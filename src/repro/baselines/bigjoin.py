@@ -49,9 +49,10 @@ class BigJoinEngine(BaselineEngine):
         self._check_query(query)
         cluster = self.cluster
         cost = cluster.cost
-        metrics = cluster.metrics
         if reset_metrics:
             cluster.reset_metrics()
+        # reset_metrics rebinds cluster.metrics; capture the fresh ledger
+        metrics = cluster.metrics
 
         order = self.order or greedy_order(query)
         conditions = symmetry_break(query)
@@ -91,16 +92,17 @@ class BigJoinEngine(BaselineEngine):
             arity = 2
             if n == 2:
                 total += sum(len(p) for p in rel)
+                for m, part in enumerate(rel):
+                    metrics.free(m, len(part) * arity * cost.bytes_per_id)
             for depth in range(2, n):
                 final = depth == n - 1
+                # _extend_round frees its input relation on every machine
                 out = self._extend_round(rel, arity, back[depth],
                                          conds_at[depth], count_only=final)
                 if final:
                     # compression [63]: the last round counts extensions
                     # without materialising them
                     total += out  # type: ignore[operator]
-                    for m, part in enumerate(rel):
-                        metrics.free(m, len(part) * arity * cost.bytes_per_id)
                 else:
                     rel = out  # type: ignore[assignment]
                     arity += 1

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..graph.graph import Graph
 from ..graph.partition import PartitionedGraph
+from ..obs.trace import NULL_TRACER
 from .cost import CostModel
 from .metrics import Metrics
 
@@ -56,6 +57,10 @@ class Cluster:
         self.metrics = Metrics(num_machines, workers_per_machine, self.cost)
         self.num_machines = num_machines
         self.workers_per_machine = workers_per_machine
+        #: set by the engine for the duration of a traced run; RPC service
+        #: time lands on the owner machine's clock, so the serve spans must
+        #: be emitted here, where that charge happens
+        self.tracer = NULL_TRACER
         if labels is not None:
             labels = np.asarray(labels, dtype=np.int64)
             if len(labels) != graph.num_vertices:
@@ -110,7 +115,10 @@ class Cluster:
                 result[v] = self.pgraph.neighbours_local(v, requester)
             else:
                 by_owner[owner].append(v)
+        tracer = self.tracer
         for owner, vids in by_owner.items():
+            if tracer.enabled:
+                t0 = tracer.now(owner)
             request_bytes = (cost.rpc_request_overhead_bytes
                              + len(vids) * cost.bytes_per_id)
             metrics.send(requester, owner, request_bytes, messages=1)
@@ -122,6 +130,9 @@ class Cluster:
                 response_ids += 1 + len(nbrs)
             metrics.send(owner, requester, response_ids * cost.bytes_per_id,
                          messages=1)
+            if tracer.enabled:
+                tracer.complete("rpc serve", owner, t0, tracer.now(owner),
+                                {"from": requester, "ids": response_ids})
         return result
 
     # -- pushing: the router ------------------------------------------------------

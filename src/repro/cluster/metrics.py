@@ -35,6 +35,7 @@ class MachineMetrics:
     peak_mem_bytes: float = 0.0
     spilled_bytes: int = 0
     steals: int = 0
+    mem_underflows: int = 0
     worker_ops: list[float] = field(default_factory=list)
 
 
@@ -53,6 +54,7 @@ class RunReport:
     aggregate_worker_time_s: float
     network_utilisation: float
     per_machine_time_s: tuple[float, ...]
+    mem_underflows: int = 0
 
     @property
     def comm_gb(self) -> float:
@@ -63,6 +65,25 @@ class RunReport:
     def peak_memory_gb(self) -> float:
         """Peak per-machine memory in GB (the paper's ``M``)."""
         return self.peak_memory_bytes / 1e9
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable view of the report (all fields + derived GB)."""
+        return {
+            "total_time_s": self.total_time_s,
+            "compute_time_s": self.compute_time_s,
+            "comm_time_s": self.comm_time_s,
+            "bytes_transferred": self.bytes_transferred,
+            "comm_gb": self.comm_gb,
+            "messages": self.messages,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "peak_memory_gb": self.peak_memory_gb,
+            "cache_hit_rate": self.cache_hit_rate,
+            "worker_time_stddev_s": self.worker_time_stddev_s,
+            "aggregate_worker_time_s": self.aggregate_worker_time_s,
+            "network_utilisation": self.network_utilisation,
+            "per_machine_time_s": list(self.per_machine_time_s),
+            "mem_underflows": self.mem_underflows,
+        }
 
 
 class Metrics:
@@ -148,8 +169,16 @@ class Metrics:
             raise OutOfMemoryError(machine, total, self.cost.memory_budget_bytes)
 
     def free(self, machine: int, num_bytes: float) -> None:
-        """Release simulated memory."""
+        """Release simulated memory.
+
+        Freeing more than is currently allocated indicates a double-free
+        accounting bug; the balance is still clamped to 0 (the simulation
+        keeps running) but the underflow is counted so the conformance
+        memory oracle can flag it.
+        """
         m = self.machines[machine]
+        if num_bytes > m.cur_mem_bytes + 1e-6:
+            m.mem_underflows += 1
         m.cur_mem_bytes = max(0.0, m.cur_mem_bytes - num_bytes)
 
     def reserve_constant(self, num_bytes: float) -> None:
@@ -237,4 +266,5 @@ class Metrics:
             network_utilisation=utilisation,
             per_machine_time_s=tuple(
                 self.machine_time(i) for i in range(self.num_machines)),
+            mem_underflows=sum(m.mem_underflows for m in self.machines),
         )

@@ -14,14 +14,16 @@ execution plan, and executes it with:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..cluster.cluster import Cluster
 from ..cluster.metrics import RunReport
+from ..obs.trace import ENGINE, NULL_TRACER, Trace, Tracer
 from ..query.estimate import CardinalityEstimator, SamplingEstimator
 from ..query.pattern import QueryGraph
 from .cache import CACHE_VARIANTS, make_cache
-from .dataflow import Segment
+from .dataflow import ScanSpec, Segment
 from .operators import ExecContext, SinkConsumer, Tuple
 from .plan.logical import LogicalPlan
 from .plan.optimiser import Optimiser
@@ -99,12 +101,30 @@ class EnumerationResult:
     cache_capacity_ids: int = 0
     """The per-machine cache capacity the run was configured with."""
 
+    trace: Trace | None = field(default=None, repr=False)
+    """The recorded span trace, when the run was traced."""
+
     @property
     def throughput_per_s(self) -> float:
         """Matches per simulated second (Exp-3 / Table 4)."""
         if self.report.total_time_s <= 0:
             return 0.0
         return self.count / self.report.total_time_s
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable view of the result (the trace is exported
+        separately via ``Trace.save``; matches are omitted)."""
+        return {
+            "count": self.count,
+            "throughput_per_s": self.throughput_per_s,
+            "fetch_time_s": self.fetch_time_s,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_overflow_ids": self.cache_overflow_ids,
+            "cache_evictions": self.cache_evictions,
+            "cache_capacity_ids": self.cache_capacity_ids,
+            "plan": self.plan.describe(),
+            "report": self.report.as_dict(),
+        }
 
 
 class HugeEngine:
@@ -146,7 +166,8 @@ class HugeEngine:
 
     def run(self, query: QueryGraph | None = None,
             plan: ExecutionPlan | LogicalPlan | None = None,
-            reset_metrics: bool = True) -> EnumerationResult:
+            reset_metrics: bool = True,
+            tracer: Tracer | None = None) -> EnumerationResult:
         """Execute a subgraph-enumeration query.
 
         Parameters
@@ -159,11 +180,21 @@ class HugeEngine:
             to plan with Algorithm 1.
         reset_metrics:
             Start a fresh metrics ledger (default) or accumulate.
+        tracer:
+            A :class:`~repro.obs.trace.Tracer` to record spans into.  The
+            default is the shared no-op tracer: tracing reads the
+            simulated clocks but never charges them, so a traced run is
+            bit-identical to an untraced one.
         """
+        tr = tracer if tracer is not None else NULL_TRACER
+        wall0 = time.perf_counter()
         exec_plan = self._resolve_plan(query, plan)
+        wall1 = time.perf_counter()
         segment: Segment = translate(exec_plan)
+        wall2 = time.perf_counter()
         if reset_metrics:
             self.cluster.reset_metrics()
+        tr.bind(self.cluster.metrics)
 
         config = self.config
         capacity = self._cache_capacity_ids()
@@ -175,12 +206,45 @@ class HugeEngine:
         two_stage = config.two_stage
         if two_stage is None:
             two_stage = caches[0].supports_two_stage
-        ctx = ExecContext(self.cluster, caches, two_stage, config.batch_size)
+        ctx = ExecContext(self.cluster, caches, two_stage, config.batch_size,
+                          tracer=tr)
+        for si, seg in enumerate(segment.all_segments()):
+            ctx.seg_ids[id(seg)] = si
+        if tr.enabled:
+            for si, seg in enumerate(segment.all_segments()):
+                if isinstance(seg.source, ScanSpec):
+                    tr.declare_operator(f"s{si}.0", "SCAN",
+                                        tuple(seg.source.schema))
+                else:
+                    tr.declare_operator(f"s{si}.0", "PUSH-JOIN",
+                                        tuple(seg.source.out_schema))
+                for oi, ext in enumerate(seg.extends):
+                    kind = "VERIFY" if ext.is_verify else "PULL-EXTEND"
+                    tr.declare_operator(f"s{si}.{oi + 1}", kind,
+                                        tuple(ext.out_schema))
+            tr.trace.meta.update({
+                "plan": exec_plan.describe(),
+                "num_machines": self.cluster.num_machines,
+                "workers_per_machine": self.cluster.workers_per_machine,
+            })
+            t = tr.now(ENGINE)  # plan/translate are free in simulated time
+            tr.complete("plan", ENGINE, t, t,
+                        {"wall_s": wall1 - wall0})
+            tr.complete("translate", ENGINE, t, t,
+                        {"wall_s": wall2 - wall1})
         ctx.metrics.reserve_constant(capacity * self.cluster.cost.bytes_per_id)
 
         sink = SinkConsumer(segment.out_schema, collect=config.collect_results)
-        run_segment(ctx, config, segment, sink)
+        t_exec = tr.now(ENGINE) if tr.enabled else 0.0
+        self.cluster.tracer = tr
+        try:
+            run_segment(ctx, config, segment, sink)
+        finally:
+            self.cluster.tracer = NULL_TRACER
         ctx.metrics.check_time()
+        if tr.enabled:
+            tr.complete("execute", ENGINE, t_exec, tr.now(ENGINE),
+                        {"wall_s": time.perf_counter() - wall2})
 
         report = ctx.metrics.report()
         hits = sum(c.stats.hits for c in caches)
@@ -196,4 +260,5 @@ class HugeEngine:
                 (c.stats.max_overflow_ids for c in caches), default=0),
             cache_evictions=sum(c.stats.evictions for c in caches),
             cache_capacity_ids=capacity,
+            trace=tr.trace if tr.enabled else None,
         )

@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from ..cluster.cluster import Cluster
+from ..obs.trace import NULL_TRACER
 from .cache import LRBUCache, LRUCache
 from .dataflow import ExtendSpec, JoinSpec, ScanSpec
 
@@ -35,9 +36,13 @@ class ExecContext:
     """Shared execution state for one engine run."""
 
     def __init__(self, cluster: Cluster, caches: Sequence[Cache],
-                 two_stage: bool, batch_size: int):
+                 two_stage: bool, batch_size: int, tracer=None):
         self.cluster = cluster
         self.caches = list(caches)
+        # hit/miss accounting is charged once, through the cache's own
+        # stats, and forwarded to the run metrics from there
+        for machine, cache in enumerate(self.caches):
+            cache.stats.bind(cluster.metrics, machine)
         self.two_stage = two_stage
         self.batch_size = batch_size
         self.metrics = cluster.metrics
@@ -46,6 +51,10 @@ class ExecContext:
         self.labels = cluster.labels
         #: total ops spent in fetch stages (Table 5's t_f)
         self.fetch_ops = 0.0
+        #: span tracer (the no-op tracer unless the run is being traced)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: segment identity -> index, for stable operator ids in traces
+        self.seg_ids: dict[int, int] = {}
 
     def release_caches(self) -> None:
         """Release all sealed cache entries (end of batch, Algorithm 4 l.20)."""
@@ -107,10 +116,11 @@ class ScanOp:
 class ExtendOp:
     """PULL-EXTEND (Algorithm 4): two-stage fetch + intersect."""
 
-    def __init__(self, spec: ExtendSpec, ctx: ExecContext):
+    def __init__(self, spec: ExtendSpec, ctx: ExecContext, opid: str = ""):
         self.spec = spec
         self.ctx = ctx
         self.out_arity = len(spec.out_schema)
+        self.opid = opid
 
     # -- fetch stage --------------------------------------------------------------
 
@@ -120,6 +130,11 @@ class ExtendOp:
         ctx = self.ctx
         pg = ctx.cluster.pgraph
         cache = ctx.caches[machine]
+        tracer = ctx.tracer
+        if tracer.enabled:
+            t0 = tracer.now(machine)
+            evictions0 = cache.stats.evictions
+            overflow0 = cache.stats.max_overflow_ids
         ext = self.spec.ext
         remote: set[int] = set()
         for f in batch:
@@ -140,14 +155,25 @@ class ExtendOp:
             for u, nbrs in fetched.items():
                 cache.insert(u, nbrs)
                 cache.seal(u)
-        ctx.metrics.record_cache(machine, hits=hits, misses=len(fetch))
-        cache.stats.hits += hits
-        cache.stats.misses += len(fetch)
+        cache.stats.count(hits=hits, misses=len(fetch))
         ops = (len(remote) * 2.0  # contains + seal bookkeeping
                + sum(1 + len(ctx.cluster.pgraph.graph.neighbours(u))
                      for u in fetch) * 0.5)  # single-writer inserts
         ctx.metrics.charge_ops(machine, ops)
         ctx.fetch_ops += ops
+        if tracer.enabled:
+            tracer.complete("fetch", machine, t0, tracer.now(machine),
+                            {"op": self.opid, "remote": len(remote),
+                             "hits": hits, "misses": len(fetch)})
+            tracer.counter("cache occupancy", machine,
+                           {"ids": cache.size_ids})
+            if cache.stats.evictions > evictions0:
+                tracer.instant("cache evict", machine,
+                               {"n": cache.stats.evictions - evictions0,
+                                "occupancy_ids": cache.size_ids})
+            if cache.stats.max_overflow_ids > overflow0:
+                tracer.instant("cache overflow", machine,
+                               {"ids": cache.stats.max_overflow_ids})
 
     # -- intersect stage ------------------------------------------------------------
 
@@ -166,8 +192,7 @@ class ExtendOp:
             if not ctx.two_stage:
                 # under two-stage execution the fetch stage already counted
                 # this vertex; only per-miss mode counts intersect reads
-                cache.stats.hits += 1
-                ctx.metrics.record_cache(machine, hits=1)
+                cache.stats.count(hits=1)
             return nbrs
         if ctx.two_stage:
             # the fetch stage guarantees presence; reaching here means the
@@ -178,8 +203,7 @@ class ExtendOp:
         nbrs = fetched[u]
         cache.insert(u, nbrs)
         penalties.append(cache.access_penalty(u))
-        cache.stats.misses += 1
-        ctx.metrics.record_cache(machine, misses=1)
+        cache.stats.count(misses=1)
         return nbrs
 
     def process(self, machine: int, batch: Sequence[Tuple],
@@ -307,6 +331,7 @@ class JoinBuffer:
         """Shuffle one batch into the per-machine buffers."""
         ctx = self.ctx
         cost = ctx.cost
+        tracer = ctx.tracer
         counts: dict[int, int] = {}
         for f in batch:
             dest = self.destination(f)
@@ -315,6 +340,9 @@ class JoinBuffer:
         self.total += len(batch)
         tuple_bytes = self.arity * cost.bytes_per_id
         for dest, n in counts.items():
+            traced = tracer.enabled and dest != machine
+            if traced:
+                t0 = tracer.now(dest)
             ctx.cluster.push(machine, dest, n, self.arity)
             ctx.metrics.alloc(dest, n * tuple_bytes)
             self._in_memory[dest] += n
@@ -327,6 +355,9 @@ class JoinBuffer:
                 ctx.metrics.record_spill(dest, spill * tuple_bytes)
                 ctx.metrics.free(dest, spill * tuple_bytes)
                 self._in_memory[dest] = self.buffer_tuples
+            if traced:
+                tracer.complete("shuffle recv", dest, t0, tracer.now(dest),
+                                {"from": machine, "tuples": n})
 
     def release(self, machine: int) -> None:
         """Free a machine's buffered memory after the join consumed it."""
@@ -338,7 +369,8 @@ class JoinBuffer:
 
 
 def join_stream(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
-                right: JoinBuffer, machine: int, batch_size: int):
+                right: JoinBuffer, machine: int, batch_size: int,
+                opid: str = ""):
     """Local hash join of the two buffered sides on ``machine``.
 
     Builds on the smaller side, probes with the larger, applies the
@@ -347,6 +379,7 @@ def join_stream(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
     through the scheduler path (the caller charges them).
     """
     cost = ctx.cost
+    tracer = ctx.tracer
     lpart = left.partitions[machine]
     rpart = right.partitions[machine]
     build_left = len(lpart) <= len(rpart)
@@ -354,10 +387,16 @@ def join_stream(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
     build_key, probe_key = ((spec.left_key, spec.right_key) if build_left
                             else (spec.right_key, spec.left_key))
 
+    if tracer.enabled:
+        t_seg = tracer.now(machine)
     table: dict[Tuple, list[Tuple]] = {}
     for f in build_side:
         table.setdefault(tuple(f[p] for p in build_key), []).append(f)
     ctx.metrics.charge_ops(machine, len(build_side) * cost.hash_build_op)
+    if tracer.enabled:
+        tracer.complete("build", machine, t_seg, tracer.now(machine),
+                        {"op": opid, "tuples": len(build_side)})
+        t_seg = tracer.now(machine)
 
     out: list[Tuple] = []
     probe_ops = 0.0
@@ -379,9 +418,20 @@ def join_stream(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
             if len(out) >= batch_size:
                 ctx.metrics.charge_ops(machine, probe_ops)
                 probe_ops = 0.0
+                if tracer.enabled:
+                    tracer.complete("probe", machine, t_seg,
+                                    tracer.now(machine), {"op": opid})
                 yield out
                 out = []
+                # the clock advanced while the consumer ran; restart the
+                # probe span at the resume point or it would straddle the
+                # consumer's own spans and break strict nesting
+                if tracer.enabled:
+                    t_seg = tracer.now(machine)
     ctx.metrics.charge_ops(machine, probe_ops)
+    if tracer.enabled:
+        tracer.complete("probe", machine, t_seg, tracer.now(machine),
+                        {"op": opid})
     if out:
         yield out
     left.release(machine)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from ..cluster.errors import PlanError
+from ..obs.trace import ENGINE
 from .dataflow import JoinSpec, ScanSpec, Segment
 from .operators import (ExecContext, ExtendOp, JoinBuffer, ScanOp,
                         SinkConsumer, Tuple, join_stream)
@@ -155,7 +156,12 @@ class _ChainRunner:
             self.source_op: ScanOp | None = ScanOp(segment.source, ctx)
         else:
             raise PlanError("join segments must be started via run_segment")
-        self.extend_ops = [ExtendOp(spec, ctx) for spec in segment.extends]
+        seg = ctx.seg_ids.get(id(segment), 0)
+        # operator ids: s<segment>.0 is the source, s<segment>.<i+1> extend i
+        self.op_ids = [f"s{seg}.{i}"
+                       for i in range(len(segment.extends) + 1)]
+        self.extend_ops = [ExtendOp(spec, ctx, opid=self.op_ids[i + 1])
+                           for i, spec in enumerate(segment.extends)]
         # queues[i] is the input channel of extend i (the output queue of
         # the operator before it); the chain is source -> extends -> consumer
         self.queues = [_Queue.empty(k) for _ in self.extend_ops]
@@ -173,7 +179,11 @@ class _ChainRunner:
         runner.k = ctx.cluster.num_machines
         runner.feed = feed
         runner.source_op = None
-        runner.extend_ops = [ExtendOp(spec, ctx) for spec in segment.extends]
+        seg = ctx.seg_ids.get(id(segment), 0)
+        runner.op_ids = [f"s{seg}.{i}"
+                         for i in range(len(segment.extends) + 1)]
+        runner.extend_ops = [ExtendOp(spec, ctx, opid=runner.op_ids[i + 1])
+                             for i, spec in enumerate(segment.extends)]
         runner.queues = [_Queue.empty(runner.k) for _ in runner.extend_ops]
         runner.compress_final = runner._can_compress_final()
         return runner
@@ -200,6 +210,10 @@ class _ChainRunner:
         q.tuples[machine] += len(tuples)
         self.ctx.metrics.alloc(
             machine, len(tuples) * arity * self.ctx.cost.bytes_per_id)
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.counter(f"queue {self.op_ids[level + 1]}", machine,
+                           {"tuples": q.tuples[machine]})
 
     def _dequeue(self, level: int, machine: int, arity: int) -> list[Tuple]:
         q = self.queues[level]
@@ -207,6 +221,10 @@ class _ChainRunner:
         q.tuples[machine] -= len(batch)
         self.ctx.metrics.free(
             machine, len(batch) * arity * self.ctx.cost.bytes_per_id)
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.counter(f"queue {self.op_ids[level + 1]}", machine,
+                           {"tuples": q.tuples[machine]})
         return batch
 
     def _has_input(self, level: int) -> bool:
@@ -225,32 +243,46 @@ class _ChainRunner:
         if mode == "region-group" and level >= 0:
             return  # RGP only redistributes initial pivots
         metrics = self.ctx.metrics
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            t0s = tracer.now_all()
         bytes_per_id = self.ctx.cost.bytes_per_id
         threshold = self.config.steal_threshold
+        moved: dict[tuple[int, int], int] = {}
+        unit = "ids"
         if level < 0:
             if isinstance(self.feed, _ScanFeed):
-                moved: dict[tuple[int, int], int] = {}
                 for src, dst, chunk in rebalance(self.feed.chunks,
                                                  threshold=threshold):
                     moved[(src, dst)] = moved.get((src, dst), 0) + len(chunk)
                     metrics.record_steal(dst)
                 for (src, dst), ids in moved.items():
                     metrics.send(src, dst, ids * bytes_per_id)
-            return
-        q = self.queues[level]
-        arity = self._in_arity(level)
-        # one StealWork RPC moves a bulk of batches per (donor, thief) pair
-        moved = {}
-        for src, dst, batch in rebalance(q.batches, threshold=threshold):
-            q.tuples[src] -= len(batch)
-            q.tuples[dst] += len(batch)
-            nbytes = len(batch) * arity * bytes_per_id
-            metrics.free(src, nbytes)
-            metrics.alloc(dst, nbytes)
-            moved[(src, dst)] = moved.get((src, dst), 0) + nbytes
-            metrics.record_steal(dst)
-        for (src, dst), nbytes in moved.items():
-            metrics.send(src, dst, nbytes)
+        else:
+            unit = "bytes"
+            q = self.queues[level]
+            arity = self._in_arity(level)
+            # one StealWork RPC moves a bulk of batches per (donor, thief)
+            # pair
+            for src, dst, batch in rebalance(q.batches, threshold=threshold):
+                q.tuples[src] -= len(batch)
+                q.tuples[dst] += len(batch)
+                nbytes = len(batch) * arity * bytes_per_id
+                metrics.free(src, nbytes)
+                metrics.alloc(dst, nbytes)
+                moved[(src, dst)] = moved.get((src, dst), 0) + nbytes
+                metrics.record_steal(dst)
+            for (src, dst), nbytes in moved.items():
+                metrics.send(src, dst, nbytes)
+        if tracer.enabled and moved:
+            for (src, dst), amount in moved.items():
+                tracer.instant("steal", dst,
+                               {"src": src, unit: amount, "level": level})
+            t1s = tracer.now_all()
+            for m in range(self.k):
+                if t1s[m] > t0s[m]:
+                    tracer.complete("steal window", m, t0s[m], t1s[m],
+                                    {"level": level})
 
     # -- scheduling ---------------------------------------------------------------------
 
@@ -260,10 +292,22 @@ class _ChainRunner:
         ctx = self.ctx
         cost = ctx.cost
         metrics = ctx.metrics
+        tracer = ctx.tracer
+        traced = tracer.enabled
         config = self.config
         stealing_workers = config.stealing == "full"
         workers = ctx.cluster.workers_per_machine
         last = len(self.extend_ops) - 1
+        opid = self.op_ids[level + 1]
+        if level < 0:
+            span_name = "SCAN" if self.source_op is not None else "JOIN-OUT"
+        else:
+            span_name = ("VERIFY" if self.extend_ops[level].spec.is_verify
+                         else "PULL-EXTEND")
+        if traced:
+            # snapshot every clock before any charge: spans on machine d
+            # caused by machine m's sends must nest inside d's round span
+            t_round = tracer.now_all()
 
         for m in range(self.k):
             metrics.charge_ops(m, cost.sched_switch_op)
@@ -284,8 +328,14 @@ class _ChainRunner:
                 if level < last:
                     pending = self.queues[level + 1].tuples[m]
                     if pending and pending >= config.output_queue_capacity:
+                        if traced:
+                            tracer.instant("yield", m, {"op": opid,
+                                                        "queued": pending})
                         break
 
+                if traced:
+                    t0 = tracer.now(m)
+                    bytes0 = tracer.bytes_moved(m)
                 counted = 0
                 if level < 0:
                     payload = self.feed.next_batch(m)
@@ -295,6 +345,7 @@ class _ChainRunner:
                         pivot = int(payload[0][0])  # join output tuples
                     else:
                         pivot = int(payload[0])     # scan pivot chunk
+                    n_in = len(payload)
                     if self.source_op is not None:
                         out, item_costs, counted = self.source_op.process(
                             m, payload)
@@ -309,11 +360,14 @@ class _ChainRunner:
                     # without stealing, work sticks to the worker that owns
                     # the batch's firstly matched (pivot) vertex (§5.3)
                     pivot = int(batch[0][0]) if batch else 0
+                    n_in = len(batch)
                     count_only = level == last and self.compress_final
                     out, item_costs, counted = op.process(
                         m, batch, count_only=count_only)
                     out_arity = op.out_arity
 
+                if traced:
+                    t_mid = tracer.now(m)
                 if item_costs:
                     per_worker = distribute_to_workers(
                         item_costs, workers, stealing_workers,
@@ -321,12 +375,48 @@ class _ChainRunner:
                     metrics.charge_worker_ops(m, per_worker)
                 metrics.charge_ops(m, cost.batch_overhead_op)
 
+                if traced:
+                    t1 = tracer.now(m)
+                    if level >= 0:
+                        # the cost model charges the intersection /
+                        # verification ops after ``process`` returns, so
+                        # [t_mid, t1] is exactly the intersect stage and the
+                        # fetch span (emitted inside ``_fetch``) ends at
+                        # t_mid: fetch + intersect == the operator span
+                        tracer.complete("intersect", m, t_mid, t1,
+                                        {"op": opid})
+                    tracer.complete(
+                        span_name, m, t0, t1,
+                        {"op": opid, "in": n_in, "out": len(out) + counted,
+                         "bytes": tracer.bytes_moved(m) - bytes0})
+                    if item_costs:
+                        if stealing_workers and workers > 1:
+                            tracer.instant(
+                                "intra steal", m,
+                                {"op": opid, "items": len(item_costs)})
+                        tracer.counter(
+                            "worker ops", m,
+                            {str(w): metrics.machines[m].worker_ops[w]
+                             for w in range(workers)})
+
                 if level < last:
                     self._enqueue(level + 1, m, out, out_arity)
                 elif counted and not out:
                     self.consumer.consume_count(m, counted)
                 else:
                     self.consumer.consume(m, out)
+                if traced:
+                    t2 = tracer.now(m)
+                    if t2 > t1:
+                        # local cost of handing the batch downstream (e.g.
+                        # the send side of a PUSH-JOIN shuffle)
+                        tracer.complete("emit", m, t1, t2, {"op": opid})
+        if traced:
+            for m in range(self.k):
+                t_end = tracer.now(m)
+                if t_end > t_round[m]:
+                    tracer.complete("schedule", m, t_round[m], t_end,
+                                    {"op": opid, "level": level})
         metrics.check_time()
 
     def _in_arity(self, level: int) -> int:
@@ -338,12 +428,17 @@ class _ChainRunner:
 
     def run(self) -> None:
         """Drive the chain to completion (the outer loop of Algorithm 5)."""
+        tracer = self.ctx.tracer
         last = len(self.extend_ops) - 1
         cur = -1  # -1 = the source operator
         while True:
             if not self._has_input(cur):
                 if cur > -1:
                     cur -= 1
+                    if tracer.enabled:
+                        tracer.instant("backtrack", ENGINE,
+                                       {"op": self.op_ids[cur + 1],
+                                        "level": cur})
                     continue
                 # source exhausted: jump forward to the first loaded operator
                 pending = [i for i in range(len(self.extend_ops))
@@ -372,8 +467,10 @@ def run_segment(ctx: ExecContext, config: SchedulerConfig, segment: Segment,
         rbuf = JoinBuffer(ctx, spec.right_key, len(segment.right.out_schema),
                           config.join_buffer_tuples)
         run_segment(ctx, config, segment.right, rbuf)
+        join_opid = f"s{ctx.seg_ids.get(id(segment), 0)}.0"
         feed = _JoinFeed([
-            join_stream(ctx, spec, lbuf, rbuf, m, config.batch_size)
+            join_stream(ctx, spec, lbuf, rbuf, m, config.batch_size,
+                        opid=join_opid)
             for m in range(ctx.cluster.num_machines)
         ])
         runner = _ChainRunner.for_join(ctx, config, segment, consumer, feed)

@@ -1,0 +1,25 @@
+"""Observability: structured tracing and run introspection.
+
+:mod:`repro.obs.trace` records span/instant/counter events against the
+simulated clock and exports Chrome ``trace_event`` JSON (Perfetto);
+:mod:`repro.obs.analyze` runs a query under tracing and annotates the
+plan with actuals next to the optimiser's estimates (``explain
+--analyze``).
+"""
+
+from .trace import (ENGINE, NULL_TRACER, CounterEvent, InstantEvent,
+                    NullTracer, OperatorStats, SpanEvent, Trace, Tracer,
+                    check_span_nesting)
+
+__all__ = [
+    "ENGINE",
+    "NULL_TRACER",
+    "CounterEvent",
+    "InstantEvent",
+    "NullTracer",
+    "OperatorStats",
+    "SpanEvent",
+    "Trace",
+    "Tracer",
+    "check_span_nesting",
+]

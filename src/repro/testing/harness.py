@@ -71,11 +71,13 @@ def _build_plan(spec: EngineSpec, engine: HugeEngine, query,
     return plan
 
 
-def execute(workload: Workload, spec: EngineSpec) -> CaseOutcome:
+def execute(workload: Workload, spec: EngineSpec,
+            tracer=None) -> CaseOutcome:
     """Run one engine on one workload, capturing the oracle observables.
 
     Engine exceptions are captured as the outcome's ``error`` (a crash is
-    a conformance failure, not a harness failure).
+    a conformance failure, not a harness failure).  ``tracer`` (HUGE specs
+    only) records a span trace of the run for failure artifacts.
     """
     outcome = CaseOutcome(spec_name=spec.name)
     graph = workload.graph()
@@ -91,7 +93,7 @@ def execute(workload: Workload, spec: EngineSpec) -> CaseOutcome:
                                 estimator=SamplingEstimator(
                                     graph, trials=60, seed=7))
             plan = _build_plan(spec, engine, query, graph)
-            result = engine.run(query, plan=plan)
+            result = engine.run(query, plan=plan, tracer=tracer)
             outcome.count = result.count
             outcome.matches = result.matches
             outcome.report = result.report
@@ -169,8 +171,13 @@ def shrink_workload(workload: Workload, spec: EngineSpec,
 
 
 def save_artifact(path: str, workload: Workload, spec: EngineSpec,
-                  failures: Iterable[OracleFailure]) -> None:
-    """Serialise a failing case (workload + engine config + violations)."""
+                  failures: Iterable[OracleFailure], trace=None) -> None:
+    """Serialise a failing case (workload + engine config + violations).
+
+    ``trace`` (a :class:`~repro.obs.trace.Trace`) embeds the failing
+    run's span timeline in Chrome ``trace_event`` form; the key is
+    optional, so version-1 readers stay compatible.
+    """
     payload = {
         "version": ARTIFACT_VERSION,
         "workload": workload.to_dict(),
@@ -178,6 +185,8 @@ def save_artifact(path: str, workload: Workload, spec: EngineSpec,
         "failures": [{"oracle": f.oracle, "message": f.message}
                      for f in failures],
     }
+    if trace is not None:
+        payload["trace"] = trace.to_chrome()
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -344,9 +353,19 @@ class ConformanceHarness:
         if self.artifact_dir is not None:
             import os
 
+            trace = None
+            if spec.is_huge:
+                # re-run the (shrunk) case traced so the artifact carries
+                # the failing run's span timeline
+                from ..obs.trace import Tracer
+
+                tracer = Tracer()
+                execute(workload, spec, tracer=tracer)
+                trace = tracer.trace
             os.makedirs(self.artifact_dir, exist_ok=True)
             artifact_path = os.path.join(
                 self.artifact_dir,
                 f"conformance-{spec.name}-seed{workload.seed}.json")
-            save_artifact(artifact_path, workload, spec, failures)
+            save_artifact(artifact_path, workload, spec, failures,
+                          trace=trace)
         return CaseFailure(workload, spec, failures, artifact_path)

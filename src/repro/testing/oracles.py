@@ -10,11 +10,14 @@ the workload/configuration that produced it:
   reference's (HUGE runs; baselines only report counts);
 * ``symmetry`` — ``ordered embeddings = matches × |Aut(q)|``, i.e.
   symmetry breaking keeps exactly one embedding per instance;
-* ``memory-bound`` — HUGE's peak per-machine memory respects the
+* ``memory-bound`` — the memory ledger never underflows (``mem_underflows
+  == 0``: a ``free`` larger than the balance means double-free
+  accounting), and HUGE's peak per-machine memory respects the
   Theorem 5.4 ``O(|V_q|² · D_G)`` queue bound (plus the configured
-  constant reservations: cache capacity and PUSH-JOIN buffers).  Skipped
-  for pure-BFS runs (infinite queues void the theorem's premise) and for
-  baselines (whose unbounded intermediates are the paper's point);
+  constant reservations: cache capacity and PUSH-JOIN buffers).  The
+  peak check is skipped for pure-BFS runs (infinite queues void the
+  theorem's premise) and for baselines (whose unbounded intermediates
+  are the paper's point);
 * ``cache-overflow`` — the LRBU cache never overflows its capacity by
   more than one batch's worth of distinct remote vertices (§4.4);
 * ``time-conservation`` — the report satisfies ``T = T_R + T_C`` and
@@ -143,7 +146,17 @@ def _check_symmetry(ref: Reference) -> OracleFailure | None:
 
 def _check_memory_bound(workload: Workload, spec: EngineSpec,
                         outcome: CaseOutcome) -> OracleFailure | None:
-    if not spec.is_huge or outcome.report is None:
+    if outcome.report is None:
+        return None
+    # double-free accounting invalidates every memory observable, so it is
+    # checked first and regardless of queue mode or engine family
+    if outcome.report.mem_underflows:
+        return OracleFailure(
+            "memory-bound",
+            f"{outcome.report.mem_underflows} memory-ledger underflow(s): "
+            f"some Metrics.free released more bytes than were allocated "
+            f"(double-free accounting bug)")
+    if not spec.is_huge:
         return None
     if spec.output_queue_capacity == float("inf"):
         return None  # pure BFS: the theorem's bounded-queue premise is off

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -48,6 +50,46 @@ class TestCommands:
         main(["query", "--data", str(path), "--pattern", "triangle",
               "--machines", "2"])
         assert "matches: 1" in capsys.readouterr().out
+
+    def test_query_trace_writes_chrome_json(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["query", "--data", "GO", "--pattern", "triangle",
+                     "--machines", "2", "--trace", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["traceEvents"]
+        assert any(e["ph"] == "X" for e in data["traceEvents"])
+        assert "trace:" in capsys.readouterr().out
+
+    def test_query_json_output_parses(self, capsys):
+        assert main(["query", "--data", "GO", "--pattern", "triangle",
+                     "--machines", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["count"] > 0
+        assert data["report"]["mem_underflows"] == 0
+
+    def test_query_trace_rejected_with_cypher(self, capsys):
+        assert main(["query", "--data", "GO", "--cypher",
+                     "MATCH (a)--(b) RETURN count(*)",
+                     "--trace", "t.json"]) == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_explain_plain_shows_plan(self, capsys):
+        assert main(["explain", "--data", "GO", "--pattern", "q1",
+                     "--machines", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ExecutionPlan" in out
+        assert "analyze" not in out
+
+    def test_explain_analyze_annotates_actuals(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["explain", "--data", "GO", "--pattern", "q1",
+                     "--machines", "2", "--analyze",
+                     "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "analyze (estimate vs traced run)" in out
+        assert "est |R|" in out
+        assert "span coverage" in out
+        assert json.loads(path.read_text())["traceEvents"]
 
     def test_plan(self, capsys):
         main(["plan", "--data", "GO", "--pattern", "q1"])
