@@ -1,0 +1,97 @@
+"""Hot-path wall-clock microbenchmark: square (q1) on the LJ stand-in.
+
+Unlike every other benchmark in this directory, this one measures *real*
+wall-clock time, not simulated time: it exists to track the interpretation
+overhead of the runtime itself (the batch representation, the intersect
+loop, the shuffle path) across commits.  Simulated metrics are recorded
+alongside as a cross-check — they must not move when only the
+implementation gets faster.
+
+Each run appends one record to ``results/BENCH_hotpath.json`` so the
+perf trajectory accumulates::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--label before]
+
+The seed is pinned through ``REPRO_BENCH_SEED`` (default 1) like every
+other benchmark, so two runs measure the same enumeration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import BENCH_SEED, RESULTS_DIR, make_cluster  # noqa: E402
+
+from repro.core import EngineConfig, HugeEngine  # noqa: E402
+from repro.query import get_query  # noqa: E402
+
+RECORD_PATH = os.path.join(RESULTS_DIR, "BENCH_hotpath.json")
+
+#: (dataset, scale, query) — the ISSUE's square/lj-sample workload
+DATASET, SCALE, QUERY = "LJ", 1.0, "q1"
+REPEATS = 3
+
+
+def run_once() -> tuple[float, object]:
+    """One full engine run; returns (wall seconds, EnumerationResult)."""
+    cluster = make_cluster(DATASET, num_machines=10, scale=SCALE)
+    engine = HugeEngine(cluster, EngineConfig())
+    query = get_query(QUERY)
+    t0 = time.perf_counter()
+    result = engine.run(query)
+    return time.perf_counter() - t0, result
+
+
+def bench(label: str) -> dict:
+    walls = []
+    result = None
+    for _ in range(REPEATS):
+        wall, result = run_once()
+        walls.append(wall)
+    wall = min(walls)  # best-of-N: least scheduler noise
+    rep = result.report
+    record = {
+        "label": label,
+        "seed": BENCH_SEED,
+        "workload": f"{QUERY}/{DATASET}@{SCALE}",
+        "matches": result.count,
+        "wall_s": round(wall, 4),
+        "wall_s_all": [round(w, 4) for w in walls],
+        "tuples_per_s": round(result.count / wall, 1),
+        # simulated cross-check: these must be invariant across
+        # implementation-only changes
+        "sim_total_time_s": rep.total_time_s,
+        "sim_bytes_transferred": rep.bytes_transferred,
+        "sim_messages": rep.messages,
+        "sim_peak_memory_bytes": rep.peak_memory_bytes,
+    }
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="run",
+                        help="tag for this record (e.g. before/after)")
+    ns = parser.parse_args(argv)
+    record = bench(ns.label)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    trajectory = []
+    if os.path.exists(RECORD_PATH):
+        with open(RECORD_PATH, encoding="utf-8") as f:
+            trajectory = json.load(f)
+    trajectory.append(record)
+    with open(RECORD_PATH, "w", encoding="utf-8") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

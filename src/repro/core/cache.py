@@ -143,9 +143,19 @@ class LRBUCache:
         batch's remote vertices (§4.4).
         """
         if vid in self._data:
-            # re-fetching means the batch needs it: pin it again
+            # re-fetching means the batch needs it: pin it again (keeping
+            # the stored data), then shed any overflow left over from a
+            # previous batch — without this, the early return skips the
+            # eviction loop and stale overflow persists past the §4.4
+            # bound of one batch's pinned footprint
             self._free.pop(vid, None)
             self._sealed.add(vid)
+            if self._capacity is not None:
+                while self._size_ids > self._capacity and self._free:
+                    victim, _ = self._free.popitem(last=False)
+                    self._size_ids -= self._entry_ids.pop(victim)
+                    del self._data[victim]
+                    self.stats.evictions += 1
             return
         entry_ids = len(neighbours) + 1
         if self._capacity is not None:
@@ -224,8 +234,16 @@ class LRUCache:
         return not self._concurrent
 
     def contains(self, vid: int) -> bool:
-        """Membership test (counted as an access for LRU bookkeeping)."""
-        return vid in self._data
+        """Membership test (counted as an access for LRU bookkeeping).
+
+        A positive probe refreshes the entry's recency — the modelled LRU
+        treats every access as a position update, so ``contains`` must
+        ``move_to_end`` or eviction would pick victims by a stale order.
+        """
+        if vid in self._data:
+            self._data.move_to_end(vid)
+            return True
+        return False
 
     def get(self, vid: int) -> np.ndarray:
         """Lookup + move-to-back (the LRU position update)."""
@@ -246,11 +264,18 @@ class LRUCache:
         return penalty + lock + cost.cache_update_op
 
     def insert(self, vid: int, neighbours: np.ndarray) -> None:
-        """Insert with plain LRU eviction."""
-        if vid in self._data:
-            self._data.move_to_end(vid)
-            return
+        """Insert with plain LRU eviction.
+
+        Re-inserting a resident vid replaces the stored adjacency and
+        re-accounts its occupancy (the old entry is retired first, so a
+        stale array or stale ``_size_ids`` share can never linger), then
+        refreshes recency like any other access.  The replacement itself
+        is not counted as an eviction.
+        """
         entry_ids = len(neighbours) + 1
+        if vid in self._data:
+            del self._data[vid]
+            self._size_ids -= self._entry_ids.pop(vid)
         if self._capacity is not None:
             while self._size_ids + entry_ids > self._capacity and self._data:
                 victim, _ = self._data.popitem(last=False)

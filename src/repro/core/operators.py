@@ -5,6 +5,16 @@ the simulated cluster.  All enumeration work is real — tuples are produced,
 intersected and filtered exactly — while compute ops, RPC bytes/messages
 and memory are charged to the metrics ledger.
 
+Batches are columnar (:class:`~repro.core.batch.Batch`: a 2-D ``int64``
+array of partial matches).  The per-candidate work — distinctness,
+symmetry masks, label filters, emission — runs as vectorised array
+operations; only genuinely stateful steps (cache reads, per-row
+intersections against adjacency lists) keep a per-row loop.  The charged
+op totals are **bit-identical** to the historical tuple-at-a-time loops:
+repeated per-emit additions are reproduced exactly with
+:func:`~repro.core.batch.chain_add` and shuffle destinations with the
+vectorised tuple-hash replica (see ``tests/golden/metrics.json``).
+
 ``PULL-EXTEND`` implements the two-stage execution strategy of Algorithm 4:
 a *fetch* stage that collects the batch's remote vertices, seals cached
 ones and pulls the misses with one aggregated ``GetNbrs`` RPC per owner,
@@ -16,17 +26,19 @@ issued from inside the intersect loop.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..obs.trace import NULL_TRACER
+from .batch import Batch, chain_add, exact_chain_total, hash_destinations
 from .cache import LRBUCache, LRUCache
 from .dataflow import ExtendSpec, JoinSpec, ScanSpec
 
 __all__ = ["ExecContext", "ScanOp", "ExtendOp", "SinkConsumer", "JoinBuffer",
-           "join_stream", "Tuple"]
+           "join_stream", "Batch", "Tuple"]
 
 Tuple = tuple[int, ...]
 Cache = LRBUCache | LRUCache
@@ -49,6 +61,8 @@ class ExecContext:
         self.cost = cluster.cost
         #: per-vertex labels of the data graph (None for unlabelled)
         self.labels = cluster.labels
+        self._edge_index: np.ndarray | None = None
+        self._log2_table: np.ndarray | None = None
         #: total ops spent in fetch stages (Table 5's t_f)
         self.fetch_ops = 0.0
         #: span tracer (the no-op tracer unless the run is being traced)
@@ -61,6 +75,45 @@ class ExecContext:
         for cache in self.caches:
             cache.release()
 
+    def edge_index(self) -> np.ndarray:
+        """Sorted composite edge keys ``u * n + v`` of the whole data graph.
+
+        Because CSR stores neighbours grouped by ascending ``u`` with each
+        adjacency sorted, the composite array is globally sorted as built —
+        one binary search answers "is ``v`` adjacent to ``u``" for any pair,
+        which lets the intersect stage test all candidate memberships of a
+        batch with a single vectorised ``searchsorted``.
+        """
+        if self._edge_index is None:
+            g = self.cluster.pgraph.graph
+            n = g.num_vertices
+            self._edge_index = (np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(g.indptr)) * n
+                + g.indices)
+        return self._edge_index
+
+    def log2_table(self) -> np.ndarray:
+        """``math.log2(d + 2)`` for every possible degree ``d``.
+
+        The intersection cost formula charges ``small * log2(other + 2)``
+        per extra list; indexing this table reproduces ``math.log2``'s
+        exact float results (``np.log2`` may differ in the last ulp)."""
+        if self._log2_table is None:
+            g = self.cluster.pgraph.graph
+            max_deg = int(np.diff(g.indptr).max()) if g.num_vertices else 0
+            self._log2_table = np.asarray(
+                [math.log2(d + 2) for d in range(max_deg + 1)])
+        return self._log2_table
+
+
+def _intersect_sorted(cand: np.ndarray, other: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted unique id arrays, preserving order."""
+    if len(cand) == 0 or len(other) == 0:
+        return cand[:0]
+    idx = np.searchsorted(other, cand)
+    idx[idx == len(other)] = 0
+    return cand[other[idx] == cand]
+
 
 class ScanOp:
     """Edge SCAN: emits matches of a single query edge from the local
@@ -72,25 +125,29 @@ class ScanOp:
         self.out_arity = 2
 
     def process(self, machine: int,
-                pivots: Sequence[int]) -> tuple[list[Tuple], list[float], int]:
-        """Expand each pivot ``u`` into tuples ``(u, v)`` for its
-        neighbours ``v`` passing the symmetry order filter.
+                pivots: Sequence[int]) -> tuple[Batch, list[float], int]:
+        """Expand each pivot ``u`` into rows ``(u, v)`` for its neighbours
+        ``v`` passing the symmetry order filter.
 
         Pivots are normally local; pivots re-homed by inter-machine work
         stealing are remote, and their adjacency is pulled with one
-        aggregated ``GetNbrs`` RPC for the chunk.
+        aggregated ``GetNbrs`` RPC for the chunk.  Emission is columnar:
+        pivot columns via ``np.repeat``, neighbour columns concatenated.
         """
         cost = self.ctx.cost
         pg = self.ctx.cluster.pgraph
         order = self.spec.order
         labels = self.ctx.labels
         pivot_label, nbr_label = self.spec.labels
-        remote = [int(u) for u in pivots if pg.owner_of(int(u)) != machine]
+        parr = np.asarray(pivots, dtype=np.int64)
+        remote_mask = (pg.owner[parr] != machine) if len(parr) else parr
+        remote = [int(u) for u in parr[remote_mask]] if len(parr) else []
         pulled = self.ctx.cluster.get_nbrs(machine, remote) if remote else {}
-        out: list[Tuple] = []
+        us: list[int] = []
+        counts: list[int] = []
+        vs_parts: list[np.ndarray] = []
         item_costs: list[float] = []
-        for u in pivots:
-            u = int(u)
+        for u in parr.tolist():
             if (pivot_label is not None and labels is not None
                     and labels[u] != pivot_label):
                 item_costs.append(cost.scan_op)
@@ -106,10 +163,18 @@ class ScanOp:
                 vs = nbrs
             if nbr_label is not None and labels is not None:
                 vs = vs[labels[vs] == nbr_label]
-            for v in vs:
-                out.append((u, int(v)))
+            us.append(u)
+            counts.append(len(vs))
+            vs_parts.append(vs)
             item_costs.append(len(nbrs) * cost.scan_op
                               + len(vs) * 2 * cost.emit_op)
+        if vs_parts:
+            u_col = np.repeat(np.asarray(us, dtype=np.int64),
+                              np.asarray(counts))
+            v_col = np.concatenate(vs_parts)
+            out = Batch(np.column_stack((u_col, v_col)))
+        else:
+            out = Batch.empty(2)
         return out, item_costs, 0
 
 
@@ -124,7 +189,7 @@ class ExtendOp:
 
     # -- fetch stage --------------------------------------------------------------
 
-    def _fetch(self, machine: int, batch: Sequence[Tuple]) -> None:
+    def _fetch(self, machine: int, rows: np.ndarray) -> None:
         """Collect the batch's remote extend vertices, seal hits, pull the
         misses with one aggregated RPC per owner, insert + seal them."""
         ctx = self.ctx
@@ -135,13 +200,14 @@ class ExtendOp:
             t0 = tracer.now(machine)
             evictions0 = cache.stats.evictions
             overflow0 = cache.stats.max_overflow_ids
-        ext = self.spec.ext
-        remote: set[int] = set()
-        for f in batch:
-            for d in ext:
-                u = f[d]
-                if pg.owner_of(u) != machine:
-                    remote.add(u)
+        # row-major over the extend columns: the same insertion sequence
+        # the scalar loop produced, so the set's iteration order (which
+        # drives seal/fetch order and therefore eviction behaviour) is
+        # reproduced exactly
+        seq = rows[:, list(self.spec.ext)].ravel()
+        if len(seq):
+            seq = seq[pg.owner[seq] != machine]
+        remote: set[int] = set(seq.tolist())
         fetch: list[int] = []
         hits = 0
         for u in remote:
@@ -206,73 +272,252 @@ class ExtendOp:
         cache.stats.count(misses=1)
         return nbrs
 
-    def process(self, machine: int, batch: Sequence[Tuple],
-                count_only: bool = False
-                ) -> tuple[list[Tuple], list[float], int]:
+    def process(self, machine: int, batch,
+                count_only: bool = False) -> tuple[Batch, list[float], int]:
         """Run fetch + intersect for one batch.
 
-        Returns ``(output_tuples, per_input_tuple_costs, count)``.  With
+        Returns ``(output_batch, per_input_row_costs, count)``.  With
         ``count_only`` (the compression optimisation of [63], applied to
         the final operator before the SINK) valid extensions are counted
-        without materialising tuples — only the count is returned.
+        without materialising rows — only the count is returned.
+
+        Under two-stage execution the intersect stage is fully columnar
+        (:meth:`_process_vector`); per-miss mode keeps the row-at-a-time
+        path because each cache access there has per-access side effects
+        (hit counting, insert-order-dependent eviction) that are part of
+        the modelled behaviour.
         """
+        ctx = self.ctx
+        spec = self.spec
+        in_arity = (self.out_arity if spec.is_verify else self.out_arity - 1)
+        batch = Batch.coerce(batch, in_arity)
+        rows = batch.rows
+        if ctx.two_stage:
+            self._fetch(machine, rows)
+            out, item_costs, counted = self._process_vector(
+                machine, rows, count_only)
+            ctx.caches[machine].release()
+            return out, item_costs, counted
+        return self._process_rowwise(machine, rows, count_only)
+
+    def _process_rowwise(self, machine: int, rows: np.ndarray,
+                         count_only: bool) -> tuple[Batch, list[float], int]:
+        """Tuple-at-a-time intersect stage (per-miss cache mode)."""
         ctx = self.ctx
         cost = ctx.cost
         spec = self.spec
+        in_arity = (self.out_arity if spec.is_verify else self.out_arity - 1)
+        n = len(rows)
         counted = 0
-        if ctx.two_stage:
-            self._fetch(machine, batch)
-        out: list[Tuple] = []
         item_costs: list[float] = []
-        for f in batch:
+        ext = spec.ext
+        labels = ctx.labels
+        emit_step = cost.emit_op if count_only else (
+            (in_arity + 1) * cost.emit_op)
+        keep_rows: list[int] = []       # verify: surviving row indices
+        ext_counts = np.zeros(n, dtype=np.int64)
+        ext_parts: list[np.ndarray] = []
+        lt = spec.candidate_lt
+        gt = spec.candidate_gt
+        for i in range(n):
             penalties: list[float] = []
             lists: list[np.ndarray] = []
-            for d in spec.ext:
-                nbrs = self._neighbour_list(machine, f[d], penalties)
+            for d in ext:
+                nbrs = self._neighbour_list(machine, int(rows[i, d]),
+                                            penalties)
                 lists.append(nbrs)
             lists.sort(key=len)
             cand = lists[0]
             for other in lists[1:]:
                 if len(cand) == 0:
                     break
-                cand = np.intersect1d(cand, other, assume_unique=True)
+                cand = _intersect_sorted(cand, other)
             ops = cost.intersection_ops([len(l) for l in lists]) + sum(penalties)
-            if (spec.new_label is not None and ctx.labels is not None
+            if (spec.new_label is not None and labels is not None
                     and len(cand)):
-                cand = cand[ctx.labels[cand] == spec.new_label]
+                cand = cand[labels[cand] == spec.new_label]
 
             if spec.is_verify:
-                target = f[spec.verify_pos]
-                i = int(np.searchsorted(cand, target))
-                if i < len(cand) and cand[i] == target:
+                target = rows[i, spec.verify_pos]
+                j = int(np.searchsorted(cand, target))
+                if j < len(cand) and cand[j] == target:
                     if count_only:
                         counted += 1
                         ops += cost.emit_op
                     else:
-                        out.append(f)
-                        ops += len(f) * cost.emit_op
-            else:
-                lt = spec.candidate_lt
-                gt = spec.candidate_gt
-                arity = len(f) + 1
-                for v in cand:
-                    v = int(v)
-                    if v in f:
-                        continue
-                    if any(v >= f[p] for p in lt):
-                        continue
-                    if any(v <= f[p] for p in gt):
-                        continue
+                        keep_rows.append(i)
+                        ops += in_arity * cost.emit_op
+            elif len(cand):
+                # vectorised distinctness + symmetry masks replacing the
+                # per-candidate `v in f` / any() scans
+                keep = ~(cand[:, None] == rows[i][None, :]).any(axis=1)
+                for p in lt:
+                    keep &= cand < rows[i, p]
+                for p in gt:
+                    keep &= cand > rows[i, p]
+                kept = cand[keep]
+                c = len(kept)
+                if c:
                     if count_only:
-                        counted += 1
-                        ops += cost.emit_op
+                        counted += c
                     else:
-                        out.append(f + (v,))
-                        ops += arity * cost.emit_op
+                        ext_counts[i] = c
+                        ext_parts.append(kept)
+                    # the scalar loop charged emit_step once per emitted
+                    # candidate; replicate the repeated-addition chain
+                    ops = chain_add(ops, emit_step, c)
             item_costs.append(ops)
-        if ctx.two_stage:
-            ctx.caches[machine].release()
+
+        if spec.is_verify:
+            out = Batch(rows[keep_rows]) if keep_rows else Batch.empty(
+                self.out_arity)
+        elif ext_parts:
+            rep = np.repeat(np.arange(n), ext_counts)
+            out = Batch(np.column_stack(
+                (rows[rep], np.concatenate(ext_parts))))
+        else:
+            out = Batch.empty(self.out_arity)
         return out, item_costs, counted
+
+    def _intersect_base_costs(self, machine: int,
+                              rows: np.ndarray) -> tuple[np.ndarray, ...]:
+        """Per-row intersection base costs and extend-vertex table.
+
+        Returns ``(verts, lens, order, base)`` where ``verts`` is the
+        ``(n, W)`` extend-vertex matrix, ``lens`` the adjacency lengths,
+        ``order`` the stable by-length sort order of each row's lists and
+        ``base`` the per-row float cost (multiway-intersection ops plus
+        cache access penalties) — every elementwise operation mirrors the
+        scalar formula so the floats are bit-identical.
+        """
+        ctx = self.ctx
+        cost = ctx.cost
+        pg = ctx.cluster.pgraph
+        g = pg.graph
+        cache = ctx.caches[machine]
+        n = len(rows)
+        W = len(self.spec.ext)
+        verts = rows[:, list(self.spec.ext)]
+        uniq, inv = np.unique(verts, return_inverse=True)
+        inv = inv.reshape(n, W)
+        pen_u = np.zeros(len(uniq))
+        for j in np.flatnonzero(pg.owner[uniq] != machine).tolist():
+            u = int(uniq[j])
+            if not cache.contains(u):
+                # the fetch stage guarantees presence; a miss here means
+                # the entry was evicted mid-batch, which sealing forbids
+                raise AssertionError(
+                    f"vertex {u} missing from cache during intersect stage")
+            pen_u[j] = cache.access_penalty(u)
+        deg_u = g.indptr[uniq + 1] - g.indptr[uniq]
+        lens = deg_u[inv]
+        order = np.argsort(lens, axis=1, kind="stable")
+        lens_sorted = np.take_along_axis(lens, order, axis=1)
+        smallest = lens_sorted[:, 0]
+        # ops = small*c, then += small*log2(other+2)*c per further list —
+        # the same IEEE operation sequence as CostModel.intersection_ops
+        base = smallest * cost.intersect_op
+        log2t = ctx.log2_table()
+        for w in range(1, W):
+            base = base + (smallest * log2t[lens_sorted[:, w]]
+                           ) * cost.intersect_op
+        base = base + pen_u[inv].sum(axis=1)
+        return verts, lens, order, base
+
+    def _edge_member(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Vectorised adjacency test: is ``dst[i]`` a neighbour of ``src[i]``?"""
+        comp = self.ctx.edge_index()
+        if len(comp) == 0:
+            return np.zeros(len(src), dtype=bool)
+        q = src * self.ctx.cluster.pgraph.graph.num_vertices + dst
+        idx = np.searchsorted(comp, q)
+        idx[idx == len(comp)] = 0
+        return comp[idx] == q
+
+    def _chained_costs(self, base: np.ndarray, counts: np.ndarray,
+                       step: float) -> np.ndarray:
+        """``chain_add(base[i], step, counts[i])`` for every emitting row,
+        deduplicated over distinct ``(base, count)`` pairs."""
+        nz = np.flatnonzero(counts)
+        if not len(nz):
+            return base
+        pairs = np.stack((base[nz].view(np.int64), counts[nz]), axis=1)
+        uq, inv = np.unique(pairs, axis=0, return_inverse=True)
+        vals = np.asarray([
+            chain_add(float(np.int64(b).view(np.float64)), step, int(c))
+            for b, c in uq.tolist()])
+        out = base.copy()
+        out[nz] = vals[inv]
+        return out
+
+    def _process_vector(self, machine: int, rows: np.ndarray,
+                        count_only: bool) -> tuple[Batch, list[float], int]:
+        """Columnar intersect stage (two-stage execution).
+
+        Candidate sets are gathered straight from the global CSR (cached
+        remote adjacency is the same data by construction) and every
+        membership test of the batch collapses into one ``searchsorted``
+        against the composite edge index.
+        """
+        ctx = self.ctx
+        cost = ctx.cost
+        spec = self.spec
+        g = ctx.cluster.pgraph.graph
+        in_arity = (self.out_arity if spec.is_verify else self.out_arity - 1)
+        n = len(rows)
+        if n == 0:
+            return Batch.empty(self.out_arity), [], 0
+        labels = ctx.labels
+        W = len(spec.ext)
+        verts, lens, order, base = self._intersect_base_costs(machine, rows)
+        rng = np.arange(n)
+
+        if spec.is_verify:
+            targets = rows[:, spec.verify_pos]
+            found = np.ones(n, dtype=bool)
+            for w in range(W):
+                found &= self._edge_member(verts[:, w], targets)
+            if spec.new_label is not None and labels is not None:
+                found &= labels[targets] == spec.new_label
+            counted = int(found.sum()) if count_only else 0
+            step = cost.emit_op if count_only else in_arity * cost.emit_op
+            item_costs = np.where(found, base + step, base).tolist()
+            out = (Batch.empty(self.out_arity) if count_only
+                   else Batch(rows[found]))
+            return out, item_costs, counted
+
+        # gather each row's candidate list (its smallest adjacency) from CSR
+        cand_vid = verts[rng, order[:, 0]]
+        L = g.indptr[cand_vid + 1] - g.indptr[cand_vid]
+        E = int(L.sum())
+        row_ids = np.repeat(rng, L)
+        ramp = np.arange(E) - np.repeat(np.cumsum(L) - L, L)
+        cand = g.indices[np.repeat(g.indptr[cand_vid], L) + ramp]
+        keep = np.ones(E, dtype=bool)
+        for w in range(1, W):
+            keep &= self._edge_member(verts[row_ids, order[row_ids, w]], cand)
+        if spec.new_label is not None and labels is not None:
+            keep &= labels[cand] == spec.new_label
+        cand, row_ids = cand[keep], row_ids[keep]
+        # distinctness + symmetry-order masks
+        keep = ~(cand[:, None] == rows[row_ids]).any(axis=1)
+        for p in spec.candidate_lt:
+            keep &= cand < rows[row_ids, p]
+        for p in spec.candidate_gt:
+            keep &= cand > rows[row_ids, p]
+        cand, row_ids = cand[keep], row_ids[keep]
+        counts = np.bincount(row_ids, minlength=n)
+
+        emit_step = cost.emit_op if count_only else (
+            (in_arity + 1) * cost.emit_op)
+        item_costs = self._chained_costs(base, counts, emit_step).tolist()
+        if count_only:
+            return Batch.empty(self.out_arity), item_costs, int(len(cand))
+        if len(cand):
+            out = Batch(np.column_stack((rows[row_ids], cand)))
+        else:
+            out = Batch.empty(self.out_arity)
+        return out, item_costs, 0
 
 
 class SinkConsumer:
@@ -282,13 +527,14 @@ class SinkConsumer:
         self.schema = schema
         self.collect = collect
         self.count = 0
-        self.results: list[Tuple] = []
+        self._collected: list[np.ndarray] = []
 
-    def consume(self, machine: int, batch: Sequence[Tuple]) -> None:
+    def consume(self, machine: int, batch) -> None:
         """Absorb one batch of final results."""
         self.count += len(batch)
-        if self.collect:
-            self.results.extend(batch)
+        if self.collect and len(batch):
+            self._collected.append(
+                Batch.coerce(batch, len(self.schema)).rows)
 
     def consume_count(self, machine: int, n: int) -> None:
         """Absorb a compressed (count-only) result contribution."""
@@ -299,17 +545,21 @@ class SinkConsumer:
         if not self.collect:
             raise ValueError("sink was not collecting results")
         perm = sorted(range(len(self.schema)), key=lambda i: self.schema[i])
-        return [tuple(f[i] for i in perm) for f in self.results]
+        if not self._collected:
+            return []
+        rows = np.concatenate(self._collected)
+        return [tuple(r) for r in rows[:, perm].tolist()]
 
 
 class JoinBuffer:
     """One side of a buffered PUSH-JOIN (§4.3).
 
-    Consumes a segment's output, shuffles each tuple to the machine owning
+    Consumes a segment's output, shuffles each row to the machine owning
     its join key (hash partitioning via the router) and buffers it there.
     When a machine's buffer exceeds the in-memory threshold the overflow is
     externally sorted and spilled: memory stays bounded at the threshold
-    while sort ops and spilled bytes are charged.
+    while sort ops and spilled bytes are charged.  Buffers are columnar:
+    per-machine lists of row-array slices, concatenated once at join time.
     """
 
     def __init__(self, ctx: ExecContext, key_pos: tuple[int, ...],
@@ -319,27 +569,50 @@ class JoinBuffer:
         self.arity = arity
         self.buffer_tuples = buffer_tuples
         k = ctx.cluster.num_machines
-        self.partitions: list[list[Tuple]] = [[] for _ in range(k)]
+        self._parts: list[list[np.ndarray]] = [[] for _ in range(k)]
+        self._counts = [0] * k
         self._in_memory = [0] * k
         self.total = 0
 
-    def destination(self, f: Tuple) -> int:
-        """Machine owning the join key of ``f`` (hash partitioning)."""
-        return hash(tuple(f[p] for p in self.key_pos)) % len(self.partitions)
+    def destination(self, f: Sequence[int]) -> int:
+        """Machine owning the join key of one row (hash partitioning)."""
+        return hash(tuple(int(f[p]) for p in self.key_pos)) % len(self._parts)
 
-    def consume(self, machine: int, batch: Sequence[Tuple]) -> None:
+    def rows_for(self, machine: int) -> np.ndarray:
+        """A machine's buffered rows as one contiguous array."""
+        parts = self._parts[machine]
+        if not parts:
+            return np.empty((0, self.arity), dtype=np.int64)
+        if len(parts) > 1:
+            self._parts[machine] = parts = [np.concatenate(parts)]
+        return parts[0]
+
+    def tuples_on(self, machine: int) -> int:
+        """Number of rows buffered on ``machine``."""
+        return self._counts[machine]
+
+    def consume(self, machine: int, batch) -> None:
         """Shuffle one batch into the per-machine buffers."""
+        batch = Batch.coerce(batch, self.arity)
+        if not len(batch):
+            return
         ctx = self.ctx
         cost = ctx.cost
         tracer = ctx.tracer
-        counts: dict[int, int] = {}
-        for f in batch:
-            dest = self.destination(f)
-            self.partitions[dest].append(f)
-            counts[dest] = counts.get(dest, 0) + 1
+        rows = batch.rows
+        dests = hash_destinations(rows[:, list(self.key_pos)],
+                                  len(self._parts))
+        # per-destination charging in first-occurrence order — the order
+        # the scalar loop discovered destinations in
+        uniq, first = np.unique(dests, return_index=True)
         self.total += len(batch)
         tuple_bytes = self.arity * cost.bytes_per_id
-        for dest, n in counts.items():
+        for dest in uniq[np.argsort(first, kind="stable")].tolist():
+            mask = dests == dest
+            part = rows[mask]
+            n = len(part)
+            self._parts[dest].append(part)
+            self._counts[dest] += n
             traced = tracer.enabled and dest != machine
             if traced:
                 t0 = tracer.now(dest)
@@ -365,7 +638,8 @@ class JoinBuffer:
         self.ctx.metrics.free(
             machine, self._in_memory[machine] * self.arity * cost.bytes_per_id)
         self._in_memory[machine] = 0
-        self.partitions[machine] = []
+        self._parts[machine] = []
+        self._counts[machine] = 0
 
 
 def join_stream(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
@@ -375,64 +649,158 @@ def join_stream(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
 
     Builds on the smaller side, probes with the larger, applies the
     cross-side distinctness and symmetry filters, and yields output batches
-    of at most ``batch_size`` tuples.  Per-probe worker costs are returned
+    of at most ``batch_size`` rows.  Per-probe worker costs are returned
     through the scheduler path (the caller charges them).
     """
+    try:
+        yield from _join_stream_inner(ctx, spec, left, right, machine,
+                                      batch_size, opid)
+    finally:
+        # release in a finally so an abandoned generator (early error or
+        # termination upstream) cannot leak the buffered memory from the
+        # ledger: generator close/GC still frees both sides exactly once
+        left.release(machine)
+        right.release(machine)
+
+
+def _join_pairs(build: np.ndarray, probe: np.ndarray,
+                build_key: tuple[int, ...], probe_key: tuple[int, ...]
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """All (build row index, probe row index) key matches, emitted
+    probe-major with build rows in insertion order within each bucket —
+    the exact emission order of the scalar dict-of-buckets join."""
+    nb = len(build)
+    all_keys = np.concatenate(
+        (build[:, list(build_key)], probe[:, list(probe_key)]))
+    _, inv = np.unique(all_keys, axis=0, return_inverse=True)
+    inv = inv.reshape(-1)
+    build_gid, probe_gid = inv[:nb], inv[nb:]
+    num_groups = int(inv.max()) + 1 if len(inv) else 0
+    group_counts = np.bincount(build_gid, minlength=num_groups)
+    # stable sort by group: within a group, ascending row index = the
+    # order rows were inserted into the bucket
+    build_order = np.argsort(build_gid, kind="stable")
+    offsets = np.concatenate(([0], np.cumsum(group_counts)))
+    per_probe = group_counts[probe_gid]
+    total = int(per_probe.sum())
+    probe_idx = np.repeat(np.arange(len(probe)), per_probe)
+    ramp = np.arange(total) - np.repeat(
+        np.cumsum(per_probe) - per_probe, per_probe)
+    build_idx = build_order[np.repeat(offsets[probe_gid], per_probe) + ramp]
+    return build_idx, probe_idx
+
+
+def _chunk_charges(emit_per_probe: np.ndarray, total: int, batch_size: int,
+                   hash_op: float, emit_step: float) -> list[float]:
+    """Per-chunk op charges replicating the scalar probe loop's chains.
+
+    The scalar loop accumulated ``probe_ops`` (one ``hash_probe_op`` per
+    probe row, one ``emit_step`` per emitted row) and reset it at every
+    ``batch_size``-row yield.  Chunk ``c``'s chain therefore contains the
+    emits of rows ``[c*B, (c+1)*B)`` plus the hash charges of the probe
+    rows first *reached* during that chunk.  A probe row is reached once
+    all earlier rows' emissions are out, i.e. at emitted-tuple index
+    ``T_p`` (the exclusive running sum of per-row emit counts).
+    """
+    n_probe = len(emit_per_probe)
+    num_full = total // batch_size
+    n_chains = num_full + 1  # the last chain is the post-loop charge
+    if n_probe:
+        reached_at = np.cumsum(emit_per_probe) - emit_per_probe
+        hash_chain = np.minimum(reached_at // batch_size, num_full)
+        hash_counts = np.bincount(hash_chain, minlength=n_chains)
+    else:
+        hash_counts = np.zeros(n_chains, dtype=np.int64)
+    emit_counts = np.zeros(n_chains, dtype=np.int64)
+    if total:
+        emit_chain = np.minimum(np.arange(total) // batch_size, num_full)
+        emit_counts = np.bincount(emit_chain, minlength=n_chains)
+    charges: list[float] = []
+    exact = True
+    for c in range(n_chains):
+        closed = exact_chain_total(
+            [(hash_op, int(hash_counts[c])), (emit_step, int(emit_counts[c]))])
+        if closed is None:
+            exact = False
+            break
+        charges.append(closed)
+    if exact:
+        return charges
+    # rare fallback (cost weights off the common power-of-two grid):
+    # replay the interleaved chain row by row
+    charges = [0.0] * n_chains
+    ops = 0.0
+    chain = 0
+    filled = 0
+    for p in range(n_probe):
+        ops += hash_op
+        todo = int(emit_per_probe[p])
+        while todo:
+            take = min(todo, batch_size - filled)
+            ops = chain_add(ops, emit_step, take)
+            filled += take
+            todo -= take
+            if filled == batch_size and chain < num_full:
+                charges[chain] = ops
+                ops = 0.0
+                chain += 1
+                filled = 0
+    charges[chain] = ops
+    return charges
+
+
+def _join_stream_inner(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
+                       right: JoinBuffer, machine: int, batch_size: int,
+                       opid: str = ""):
     cost = ctx.cost
     tracer = ctx.tracer
-    lpart = left.partitions[machine]
-    rpart = right.partitions[machine]
-    build_left = len(lpart) <= len(rpart)
-    build_side, probe_side = (lpart, rpart) if build_left else (rpart, lpart)
+    lrows = left.rows_for(machine)
+    rrows = right.rows_for(machine)
+    build_left = len(lrows) <= len(rrows)
+    build, probe = (lrows, rrows) if build_left else (rrows, lrows)
     build_key, probe_key = ((spec.left_key, spec.right_key) if build_left
                             else (spec.right_key, spec.left_key))
 
     if tracer.enabled:
         t_seg = tracer.now(machine)
-    table: dict[Tuple, list[Tuple]] = {}
-    for f in build_side:
-        table.setdefault(tuple(f[p] for p in build_key), []).append(f)
-    ctx.metrics.charge_ops(machine, len(build_side) * cost.hash_build_op)
+    build_idx, probe_idx = _join_pairs(build, probe, build_key, probe_key)
+    ctx.metrics.charge_ops(machine, len(build) * cost.hash_build_op)
     if tracer.enabled:
         tracer.complete("build", machine, t_seg, tracer.now(machine),
-                        {"op": opid, "tuples": len(build_side)})
+                        {"op": opid, "tuples": len(build)})
         t_seg = tracer.now(machine)
 
-    out: list[Tuple] = []
-    probe_ops = 0.0
     out_arity = len(spec.out_schema)
-    for f in probe_side:
-        probe_ops += cost.hash_probe_op
-        bucket = table.get(tuple(f[p] for p in probe_key))
-        if not bucket:
-            continue
-        for g in bucket:
-            lf, rf = (g, f) if build_left else (f, g)
-            joined = lf + tuple(rf[p] for p in spec.right_carry)
-            if any(joined[i] == joined[j] for i, j in spec.cross_distinct):
-                continue
-            if any(joined[i] >= joined[j] for i, j in spec.cross_conditions):
-                continue
-            out.append(joined)
-            probe_ops += out_arity * cost.emit_op
-            if len(out) >= batch_size:
-                ctx.metrics.charge_ops(machine, probe_ops)
-                probe_ops = 0.0
-                if tracer.enabled:
-                    tracer.complete("probe", machine, t_seg,
-                                    tracer.now(machine), {"op": opid})
-                yield out
-                out = []
-                # the clock advanced while the consumer ran; restart the
-                # probe span at the resume point or it would straddle the
-                # consumer's own spans and break strict nesting
-                if tracer.enabled:
-                    t_seg = tracer.now(machine)
-    ctx.metrics.charge_ops(machine, probe_ops)
+    brows = build[build_idx]
+    prows = probe[probe_idx]
+    lf, rf = (brows, prows) if build_left else (prows, brows)
+    joined = np.concatenate((lf, rf[:, list(spec.right_carry)]), axis=1)
+    keep = np.ones(len(joined), dtype=bool)
+    for i, j in spec.cross_distinct:
+        keep &= joined[:, i] != joined[:, j]
+    for i, j in spec.cross_conditions:
+        keep &= joined[:, i] < joined[:, j]
+    emitted = joined[keep]
+    emit_per_probe = np.bincount(probe_idx[keep], minlength=len(probe))
+    total = len(emitted)
+
+    charges = _chunk_charges(emit_per_probe, total, batch_size,
+                             cost.hash_probe_op, out_arity * cost.emit_op)
+    num_full = total // batch_size
+    for c in range(num_full):
+        ctx.metrics.charge_ops(machine, charges[c])
+        if tracer.enabled:
+            tracer.complete("probe", machine, t_seg, tracer.now(machine),
+                            {"op": opid})
+        yield Batch(emitted[c * batch_size:(c + 1) * batch_size])
+        # the clock advanced while the consumer ran; restart the probe
+        # span at the resume point or it would straddle the consumer's
+        # own spans and break strict nesting
+        if tracer.enabled:
+            t_seg = tracer.now(machine)
+    ctx.metrics.charge_ops(machine, charges[num_full])
     if tracer.enabled:
         tracer.complete("probe", machine, t_seg, tracer.now(machine),
                         {"op": opid})
-    if out:
-        yield out
-    left.release(machine)
-    right.release(machine)
+    if total % batch_size:
+        yield Batch(emitted[num_full * batch_size:])

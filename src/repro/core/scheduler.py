@@ -26,9 +26,10 @@ from typing import Iterator, Sequence
 
 from ..cluster.errors import PlanError
 from ..obs.trace import ENGINE
+from .batch import Batch
 from .dataflow import JoinSpec, ScanSpec, Segment
 from .operators import (ExecContext, ExtendOp, JoinBuffer, ScanOp,
-                        SinkConsumer, Tuple, join_stream)
+                        SinkConsumer, join_stream)
 from .stealing import STEALING_MODES, distribute_to_workers, rebalance
 
 __all__ = ["SchedulerConfig", "run_segment"]
@@ -96,9 +97,9 @@ class _ScanFeed:
 class _JoinFeed:
     """Streaming output of a PUSH-JOIN, one peekable generator per machine."""
 
-    def __init__(self, generators: Sequence[Iterator[list[Tuple]]]):
+    def __init__(self, generators: Sequence[Iterator[Batch]]):
         self._gens = list(generators)
-        self._peek: list[list[Tuple] | None] = [None] * len(self._gens)
+        self._peek: list[Batch | None] = [None] * len(self._gens)
         self._done = [False] * len(self._gens)
 
     def _fill(self, machine: int) -> None:
@@ -112,7 +113,7 @@ class _JoinFeed:
         self._fill(machine)
         return self._peek[machine] is not None
 
-    def next_batch(self, machine: int) -> list[Tuple]:
+    def next_batch(self, machine: int) -> Batch:
         self._fill(machine)
         batch = self._peek[machine]
         if batch is None:
@@ -131,7 +132,7 @@ class _JoinFeed:
 class _Queue:
     """One operator's per-machine input queue with tuple/byte accounting."""
 
-    batches: list[deque[list[Tuple]]]
+    batches: list[deque[Batch]]
     tuples: list[int] = field(default_factory=list)
 
     @classmethod
@@ -198,24 +199,26 @@ class _ChainRunner:
 
     # -- queue plumbing ----------------------------------------------------------
 
-    def _enqueue(self, level: int, machine: int, tuples: list[Tuple],
+    def _enqueue(self, level: int, machine: int, out,
                  arity: int) -> None:
-        """Append output tuples (re-batched) to a queue, charging memory."""
-        if not tuples:
+        """Append an output batch (re-sliced) to a queue, charging memory."""
+        out = Batch.coerce(out, arity)
+        n = len(out)
+        if not n:
             return
         q = self.queues[level]
         size = self.config.batch_size
-        for i in range(0, len(tuples), size):
-            q.batches[machine].append(tuples[i:i + size])
-        q.tuples[machine] += len(tuples)
+        for piece in out.split(size):
+            q.batches[machine].append(piece)
+        q.tuples[machine] += n
         self.ctx.metrics.alloc(
-            machine, len(tuples) * arity * self.ctx.cost.bytes_per_id)
+            machine, n * arity * self.ctx.cost.bytes_per_id)
         tracer = self.ctx.tracer
         if tracer.enabled:
             tracer.counter(f"queue {self.op_ids[level + 1]}", machine,
                            {"tuples": q.tuples[machine]})
 
-    def _dequeue(self, level: int, machine: int, arity: int) -> list[Tuple]:
+    def _dequeue(self, level: int, machine: int, arity: int) -> Batch:
         q = self.queues[level]
         batch = q.batches[machine].popleft()
         q.tuples[machine] -= len(batch)
@@ -339,27 +342,26 @@ class _ChainRunner:
                 counted = 0
                 if level < 0:
                     payload = self.feed.next_batch(m)
-                    if not payload:
-                        pivot = 0
-                    elif isinstance(payload[0], tuple):
-                        pivot = int(payload[0][0])  # join output tuples
+                    if isinstance(payload, Batch):
+                        # join output rows; pivot = first matched vertex
+                        pivot = int(payload.rows[0, 0]) if len(payload) else 0
                     else:
-                        pivot = int(payload[0])     # scan pivot chunk
+                        pivot = int(payload[0]) if payload else 0
                     n_in = len(payload)
                     if self.source_op is not None:
                         out, item_costs, counted = self.source_op.process(
                             m, payload)
                         out_arity = 2
                     else:
-                        out = payload  # join output is already tuples
+                        out = payload  # join output is already a batch
                         item_costs = []
-                        out_arity = len(out[0]) if out else 0
+                        out_arity = out.arity
                 else:
                     op = self.extend_ops[level]
                     batch = self._dequeue(level, m, self._in_arity(level))
                     # without stealing, work sticks to the worker that owns
                     # the batch's firstly matched (pivot) vertex (§5.3)
-                    pivot = int(batch[0][0]) if batch else 0
+                    pivot = int(batch.rows[0, 0]) if len(batch) else 0
                     n_in = len(batch)
                     count_only = level == last and self.compress_final
                     out, item_costs, counted = op.process(

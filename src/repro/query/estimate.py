@@ -151,10 +151,20 @@ class SamplingEstimator(_CachedEstimator):
                 cand = None
                 for j in back[i]:
                     nbrs = g.neighbours(match[j])
-                    cand = nbrs if cand is None else np.intersect1d(
-                        cand, nbrs, assume_unique=True)
+                    if cand is None:
+                        cand = nbrs
+                    elif len(cand) and len(nbrs):
+                        # sorted-unique intersection by binary search —
+                        # same result as np.intersect1d(assume_unique=True)
+                        # without its concatenate-and-sort overhead
+                        pos = np.searchsorted(nbrs, cand)
+                        pos[pos == len(nbrs)] = 0
+                        cand = cand[nbrs[pos] == cand]
+                    else:
+                        cand = cand[:0]
                 assert cand is not None  # pattern is connected
-                cand = cand[~np.isin(cand, match)]
+                used = np.asarray(match, dtype=np.int64)
+                cand = cand[~(cand[:, None] == used).any(axis=1)]
                 if len(cand) == 0:
                     alive = False
                     break

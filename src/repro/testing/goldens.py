@@ -1,0 +1,103 @@
+"""Bit-identity goldens: frozen simulated metrics for fixed workloads.
+
+The columnar batch runtime must charge *exactly* the ops/bytes/messages/
+memory the tuple-at-a-time runtime charged — the simulated metrics are the
+experiment results, so any drift silently rewrites the paper's tables.
+This module captures, for a fixed set of seeded workloads × the HUGE
+engine matrix, the full :class:`~repro.cluster.metrics.RunReport` (plus
+match counts and cache counters) into a JSON file that a tier-1 test
+compares against with **exact float equality** (JSON round-trips shortest
+``repr`` floats losslessly).
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python -m repro.testing.goldens --write tests/golden/metrics.json
+
+Regeneration is a reviewable event: the diff shows precisely which
+configurations' accounting changed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from ..graph import generators
+from ..query.pattern import get_query
+from .configs import EngineSpec, default_matrix
+from .harness import execute
+from .workloads import Workload, random_workload
+
+__all__ = ["GOLDEN_SEEDS", "capture_goldens", "golden_specs",
+           "golden_workloads"]
+
+#: workload-generator seeds frozen into the golden file
+GOLDEN_SEEDS = (1, 2, 3, 5, 8, 13)
+
+
+def golden_specs() -> list[EngineSpec]:
+    """The HUGE side of the engine matrix (baselines keep their own
+    enumeration code and are covered by the conformance oracles)."""
+    return [s for s in default_matrix() if s.is_huge]
+
+
+def golden_workloads() -> list[tuple[str, Workload]]:
+    """The frozen workload set: seeded random cases plus two larger
+    structured cases that exercise spilling, stealing and eviction."""
+    cases: list[tuple[str, Workload]] = [
+        (f"seed-{s}", random_workload(s)) for s in GOLDEN_SEEDS
+    ]
+    big = generators.power_law_cluster(60, 3, triad_p=0.6, seed=97)
+    cases.append(("plc60-q1", Workload.from_parts(
+        big, get_query("q1"), num_machines=3, workers_per_machine=2,
+        partition_seed=4, seed=97)))
+    dense = generators.erdos_renyi(36, 0.3, seed=53)
+    cases.append(("er36-q2", Workload.from_parts(
+        dense, get_query("q2"), num_machines=2, workers_per_machine=3,
+        partition_seed=2, seed=53)))
+    return cases
+
+
+def _record(workload: Workload, spec: EngineSpec) -> dict[str, Any]:
+    """One engine run reduced to its accounting-relevant observables."""
+    outcome = execute(workload, spec)
+    if outcome.error is not None:
+        return {"error": outcome.error}
+    report = outcome.report.as_dict()
+    return {
+        "count": outcome.count,
+        "report": report,
+        "cache_overflow_ids": outcome.cache_overflow_ids,
+    }
+
+
+def capture_goldens() -> dict[str, Any]:
+    """Run every golden (workload, spec) pair and collect the records."""
+    specs = golden_specs()
+    out: dict[str, Any] = {"cases": {}}
+    for wname, workload in golden_workloads():
+        case: dict[str, Any] = {"workload": workload.describe(), "specs": {}}
+        for spec in specs:
+            case["specs"][spec.name] = _record(workload, spec)
+        out["cases"][wname] = case
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", metavar="PATH", required=True,
+                        help="write the golden JSON to PATH")
+    ns = parser.parse_args(argv)
+    goldens = capture_goldens()
+    with open(ns.write, "w", encoding="utf-8") as f:
+        json.dump(goldens, f, indent=1, sort_keys=True)
+        f.write("\n")
+    n = sum(len(c["specs"]) for c in goldens["cases"].values())
+    print(f"wrote {n} golden records to {ns.write}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

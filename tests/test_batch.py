@@ -1,0 +1,118 @@
+"""Tests for the columnar Batch and its bit-exact cost arithmetic.
+
+The vectorised operators rely on three primitives that must agree
+*exactly* with their scalar counterparts: ``chain_add`` with repeated
+float addition, ``exact_chain_total`` with any interleaving of addition
+chains, and ``hash_destinations`` with ``hash(tuple(...)) % k``.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (Batch, chain_add, exact_chain_total,
+                              hash_destinations)
+
+
+class TestBatchProtocol:
+    def test_wraps_rows_and_reports_shape(self):
+        b = Batch(np.asarray([[1, 2], [3, 4]], dtype=np.int64))
+        assert len(b) == 2
+        assert b.arity == 2
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            Batch(np.asarray([1, 2, 3], dtype=np.int64))
+
+    def test_iterates_as_tuples(self):
+        b = Batch(np.asarray([[1, 2], [3, 4]], dtype=np.int64))
+        assert list(b) == [(1, 2), (3, 4)]
+        assert b[0] == (1, 2)
+
+    def test_equality_with_lists_and_batches(self):
+        b = Batch(np.asarray([[1, 2]], dtype=np.int64))
+        assert b == [(1, 2)]
+        assert b == Batch(np.asarray([[1, 2]], dtype=np.int64))
+        assert b != [(2, 1)]
+
+    def test_coerce_accepts_sequences_and_arrays(self):
+        assert Batch.coerce([(1, 2), (3, 4)]).tolist() == [(1, 2), (3, 4)]
+        assert Batch.coerce(np.zeros((2, 3), dtype=np.int64)).arity == 3
+        assert Batch.coerce([], arity=4).arity == 4
+        b = Batch.empty(2)
+        assert Batch.coerce(b) is b
+
+    def test_slice_and_split(self):
+        b = Batch(np.arange(12, dtype=np.int64).reshape(6, 2))
+        assert isinstance(b[1:3], Batch)
+        parts = list(b.split(4))
+        assert [len(p) for p in parts] == [4, 2]
+        assert parts[0][0] == (0, 1)
+
+
+class TestChainAdd:
+    def literal(self, base, step, n):
+        for _ in range(n):
+            base += step
+        return base
+
+    def test_matches_literal_loop_on_cost_grid(self):
+        for step in (0.25, 0.5, 1.0, 3.0, 4.0):
+            for n in (0, 1, 7, 100, 1023):
+                base = 17.0
+                assert chain_add(base, step, n) == self.literal(base, step, n)
+
+    def test_matches_literal_loop_on_log2_bases(self):
+        """the one non-dyadic source in the cost model is math.log2"""
+        rng = random.Random(7)
+        for _ in range(300):
+            base = rng.randint(1, 500) * math.log2(rng.randint(2, 9000)) / 4
+            step = rng.choice((0.25, 0.5, 1.0, 1.25, 3.0))
+            n = rng.randint(0, 700)
+            assert chain_add(base, step, n) == self.literal(base, step, n)
+
+    def test_zero_step_and_zero_count(self):
+        assert chain_add(5.5, 0.0, 100) == 5.5
+        assert chain_add(5.5, 0.25, 0) == 5.5
+
+    def test_absorbing_fixed_point(self):
+        big = 2.0 ** 60
+        assert chain_add(big, 0.25, 10 ** 9) == big
+
+
+class TestExactChainTotal:
+    def test_equals_any_interleaving(self):
+        parts = [(0.25, 13), (2.0, 5), (1.0, 7)]
+        closed = exact_chain_total(parts)
+        assert closed is not None
+        rng = random.Random(3)
+        steps = [s for s, c in parts for _ in range(c)]
+        for _ in range(20):
+            rng.shuffle(steps)
+            acc = 0.0
+            for s in steps:
+                acc += s
+            assert acc == closed
+
+    def test_declines_when_not_provably_exact(self):
+        assert exact_chain_total([(0.1, 3)]) is None
+
+    def test_empty_is_zero(self):
+        assert exact_chain_total([]) == 0.0
+        assert exact_chain_total([(0.25, 0)]) == 0.0
+
+
+class TestHashDestinations:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    @pytest.mark.parametrize("k", [1, 2, 7, 10])
+    def test_matches_interpreter_hash(self, width, k):
+        rng = np.random.default_rng(width * 100 + k)
+        keys = rng.integers(0, 1 << 45, size=(200, width), dtype=np.int64)
+        got = hash_destinations(keys, k)
+        expect = [hash(tuple(int(x) for x in row)) % k for row in keys]
+        assert got.tolist() == expect
+
+    def test_empty_input(self):
+        assert len(hash_destinations(np.empty((0, 2), dtype=np.int64), 3)) == 0

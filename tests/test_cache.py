@@ -197,3 +197,57 @@ class TestLRUCache:
 
     def test_empty_stats(self, cost):
         assert LRUCache(4, cost).stats.hit_rate == 0.0
+
+
+class TestLRURecencyRegressions:
+    """Regressions for the LRU bookkeeping fixes: a positive ``contains``
+    probe must refresh recency, and a re-insert must retire the old
+    entry's occupancy before storing the new one."""
+
+    def test_contains_refreshes_recency(self, cost):
+        c = LRUCache(4, cost)
+        c.insert(1, arr(1))
+        c.insert(2, arr(2))
+        assert c.contains(1)    # probe must move 1 to the back
+        c.insert(3, arr(3))     # evicts the true LRU: 2, not 1
+        assert c.contains(1)
+        assert not c.contains(2)
+
+    def test_reinsert_reaccounts_occupancy(self, cost):
+        c = LRUCache(100, cost)
+        c.insert(1, arr(1, 2, 3))   # 4 ids
+        c.insert(1, arr(9))         # shrink to 2 ids
+        assert c.size_ids == 2
+        assert list(c.get(1)) == [9]
+
+    def test_reinsert_same_size_does_not_leak_ids(self, cost):
+        c = LRUCache(6, cost)
+        c.insert(1, arr(1, 2))      # 3 ids
+        c.insert(1, arr(1, 2))      # stale accounting would make this 6
+        c.insert(2, arr(3, 4))      # fits exactly when accounting is right
+        assert c.size_ids == 6
+        assert c.contains(1) and c.contains(2)
+        assert c.stats.evictions == 0
+
+    def test_replacement_is_not_an_eviction(self, cost):
+        c = LRUCache(100, cost)
+        c.insert(1, arr(1))
+        c.insert(1, arr(2, 3))
+        assert c.stats.evictions == 0
+
+
+class TestLRBUOverflowRegression:
+    def test_repin_sheds_stale_overflow(self, cost):
+        """Re-pinning a resident entry must still drain overflow left from
+        a previous batch: after release, evictable entries may not keep
+        the cache above capacity past the one-batch overflow bound."""
+        c = LRBUCache(2, cost)
+        for v in (0, 1, 2):
+            c.insert(v, arr(v))     # 2 ids each, all pinned: size 6
+        assert c.size_ids == 6
+        c.release()                 # all three become evictable
+        c.insert(0, arr(0))         # re-pin 0; stale overflow must drain
+        assert c.contains(0)
+        assert c.size_ids == 2
+        assert not c.contains(1) and not c.contains(2)
+        assert c.stats.evictions == 2

@@ -1,0 +1,52 @@
+"""Bit-identity guard: simulated metrics match the frozen goldens.
+
+The golden file pins the full accounting (ops-derived times, bytes,
+messages, peak memory, worker-load statistics, match counts) of every
+HUGE configuration on fixed workloads.  Exact float equality is the
+point: the batch-representation refactor must not change a single
+charge.  Regenerate deliberately with::
+
+    PYTHONPATH=src python -m repro.testing.goldens --write tests/golden/metrics.json
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.testing.goldens import (capture_goldens, golden_specs,
+                                   golden_workloads)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "metrics.json")
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    with open(GOLDEN_PATH, encoding="utf-8") as f:
+        return json.load(f)
+
+
+@pytest.fixture(scope="module")
+def current():
+    return capture_goldens()
+
+
+def test_golden_file_covers_matrix(goldens):
+    spec_names = {s.name for s in golden_specs()}
+    case_names = {name for name, _ in golden_workloads()}
+    assert set(goldens["cases"]) == case_names
+    for case in goldens["cases"].values():
+        assert set(case["specs"]) == spec_names
+
+
+@pytest.mark.parametrize("case_name",
+                         [name for name, _ in golden_workloads()])
+def test_metrics_bit_identical(goldens, current, case_name):
+    expected = goldens["cases"][case_name]["specs"]
+    actual = current["cases"][case_name]["specs"]
+    for spec_name, record in expected.items():
+        got = actual[spec_name]
+        assert got == record, (
+            f"{case_name}/{spec_name}: simulated metrics drifted from "
+            f"the golden record.\n  golden: {record}\n  got:    {got}")

@@ -238,3 +238,36 @@ class TestJoinBufferAndStream:
         buf.consume(0, [(i, i + 1) for i in range(50)])
         sent = sum(m.bytes_sent for m in ctx.metrics.machines)
         assert sent > 0
+
+
+class TestJoinStreamRelease:
+    def _buffers(self, ctx):
+        spec = JoinSpec(left_key=(1,), right_key=(0,), right_carry=(1,),
+                        out_schema=(0, 1, 2))
+        left = JoinBuffer(ctx, spec.left_key, arity=2, buffer_tuples=1000)
+        right = JoinBuffer(ctx, spec.right_key, arity=2, buffer_tuples=1000)
+        left.consume(0, [(i, i + 1) for i in range(40)])
+        right.consume(1, [(i + 1, i) for i in range(40)])
+        return spec, left, right
+
+    def test_consumed_stream_releases_buffers(self, ctx):
+        spec, left, right = self._buffers(ctx)
+        for m in range(ctx.cluster.num_machines):
+            for _ in join_stream(ctx, spec, left, right, m, 100):
+                pass
+        for m, machine in enumerate(ctx.metrics.machines):
+            assert machine.cur_mem_bytes == 0.0, m
+        assert all(u == 0 for u in (m.mem_underflows
+                                    for m in ctx.metrics.machines))
+
+    def test_abandoned_stream_releases_buffers(self, ctx):
+        """an early-terminated generator must not leak buffered memory
+        from the ledger: the release runs in a finally"""
+        spec, left, right = self._buffers(ctx)
+        for m in range(ctx.cluster.num_machines):
+            stream = join_stream(ctx, spec, left, right, m, 1)
+            next(stream, None)      # consume at most one chunk ...
+            stream.close()          # ... then abandon the generator
+        for m, machine in enumerate(ctx.metrics.machines):
+            assert machine.cur_mem_bytes == 0.0, m
+            assert machine.mem_underflows == 0, m

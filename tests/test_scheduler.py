@@ -149,3 +149,83 @@ class TestStealingIntegration:
                 get_query("q1"))
             stddev[mode] = r.report.worker_time_stddev_s
         assert stddev["full"] < stddev["none"]
+
+
+class TestSourceExhaustedJumpForward:
+    def test_jump_forward_reaches_loaded_downstream_operator(self, er_graph):
+        """Algorithm 5's outer loop: when the source is exhausted and the
+        first extend has no input, the scheduler must jump forward to the
+        first operator that still has queued batches (scheduler.run's
+        ``pending`` scan) instead of terminating."""
+        from repro.core.cache import LRBUCache
+        from repro.core.dataflow import ExtendSpec, ScanSpec, Segment
+        from repro.core.operators import ExecContext, SinkConsumer
+        from repro.core.scheduler import _ChainRunner
+
+        cluster = Cluster(er_graph, num_machines=2, workers_per_machine=1,
+                          seed=3)
+        caches = [LRBUCache(None, cluster.cost) for _ in range(2)]
+        ctx = ExecContext(cluster, caches, two_stage=True, batch_size=16)
+        seg = Segment(source=ScanSpec(schema=(0, 1)), extends=[
+            ExtendSpec(ext=(1,), out_schema=(0, 1, 2), new_vertex=2),
+            ExtendSpec(ext=(2,), out_schema=(0, 1, 2, 3), new_vertex=3),
+        ])
+        sink = SinkConsumer(seg.out_schema, collect=False)
+        runner = _ChainRunner(ctx, SchedulerConfig(batch_size=16,
+                                                   stealing="none"), seg, sink)
+        # exhaust the scan source before the chain ever runs
+        for m in range(2):
+            while runner.feed.has_input(m):
+                runner.feed.next_batch(m)
+        # ... but a batch is already waiting at the SECOND extend's input
+        rows = [(0, 1, 2), (3, 4, 5), (6, 7, 8)]
+        expected = 0
+        for (u, v, w) in rows:
+            expected += sum(1 for x in er_graph.neighbours(w).tolist()
+                            if x not in (u, v, w))
+        runner._enqueue(1, 0, rows, 3)
+        runner.run()
+        assert sink.count == expected
+
+
+class TestScanFeedInterMachineStealing:
+    def test_stolen_pivot_chunks_are_pulled_remotely(self, er_graph):
+        """Inter-machine stealing on the scan feed re-homes pivot chunks;
+        the thief's ScanOp must pull the stolen pivots' adjacency with a
+        GetNbrs RPC (they stay owned by the donor)."""
+        import numpy as np
+        from repro.graph.partition import PartitionedGraph
+
+        q = get_query("q2")  # triangle
+        expect = count_matches(er_graph, q)
+        cluster = Cluster(er_graph, num_machines=3, workers_per_machine=1,
+                          seed=1)
+        # skew every vertex onto machine 0 so the scan feed starts wholly
+        # imbalanced and stealing must move chunks to machines 1 and 2
+        owner = np.zeros(er_graph.num_vertices, dtype=np.int64)
+        cluster.pgraph = PartitionedGraph(er_graph, 3, owner=owner)
+        cfg = EngineConfig(stealing="full", steal_threshold=1.5,
+                           scan_pivot_chunk=4)
+        result = HugeEngine(cluster, cfg,
+                            estimator=ExactEstimator(er_graph)).run(q)
+        assert result.count == expect
+        machines = cluster.metrics.machines
+        assert sum(m.steals for m in machines[1:]) > 0
+        # the stolen pivots are remote on the thieves: RPC pulls happened
+        assert sum(m.rpc_requests for m in machines[1:]) > 0
+
+    def test_no_stealing_keeps_skewed_feed_local(self, er_graph):
+        import numpy as np
+        from repro.graph.partition import PartitionedGraph
+
+        q = get_query("q2")
+        expect = count_matches(er_graph, q)
+        cluster = Cluster(er_graph, num_machines=3, workers_per_machine=1,
+                          seed=1)
+        owner = np.zeros(er_graph.num_vertices, dtype=np.int64)
+        cluster.pgraph = PartitionedGraph(er_graph, 3, owner=owner)
+        cfg = EngineConfig(stealing="none")
+        result = HugeEngine(cluster, cfg,
+                            estimator=ExactEstimator(er_graph)).run(q)
+        assert result.count == expect
+        assert all(m.steals == 0 for m in cluster.metrics.machines)
