@@ -6,11 +6,25 @@ This module provides those building blocks with full cost/memory
 accounting, so each baseline implementation stays a faithful, readable
 transcription of its algorithm.
 
+Relations are **columnar**: each machine's partition is a 2-D ``int64``
+array (one row per tuple), and the relational operators — hash shuffle,
+hash join, star materialisation — run as vectorised array programs built
+on the shared kernels of :mod:`repro.core.kernels`.  The *simulated*
+metrics they charge are bit-identical to the historical tuple-at-a-time
+loops: repeated per-emit op additions are replayed with
+``chain_add``/``exact_chain_total``, shuffle destinations use the
+CPython tuple-hash replica, and the incremental memory-charge /
+budget-check sequence (alloc → charge → check, every ``_CHUNK`` emitted
+tuples) is reproduced allocation by allocation, so ``00M``/``0T`` aborts
+trip at exactly the same point (see ``tests/golden/metrics.json``).
+
 Memory is charged **incrementally while results are generated**, so an
 exploding star expansion or join aborts with the paper's ``00M`` / ``0T``
 outcome as soon as the budget is crossed, instead of grinding through the
 full explosion first.  Star expansion additionally pre-flights its
 predicted output size (``Σ_u C(d_u, |L|)`` patterns) for the same reason.
+On abort, the inputs consumed by an operator and its partially charged
+output are released, so the ledger balances on every exit path.
 """
 
 from __future__ import annotations
@@ -18,11 +32,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from itertools import combinations, permutations
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 from ..cluster.cluster import Cluster
-from ..cluster.errors import OvertimeError
+from ..cluster.errors import OutOfMemoryError, OvertimeError
 from ..cluster.metrics import RunReport
+from ..core.kernels import (chained_costs, chunk_charges, hash_destinations,
+                            join_pairs)
 from ..query.symmetry import PartialOrder
 
 __all__ = [
@@ -95,27 +113,54 @@ def filter_tuples(tuples: Iterable[Tuple],
     return out
 
 
+def _as_partition(part, arity: int) -> np.ndarray:
+    """One machine's partition as a ``(n, arity)`` int64 array."""
+    if isinstance(part, np.ndarray):
+        rows = np.asarray(part, dtype=np.int64)
+    else:
+        seq = list(part)
+        if not seq:
+            return np.empty((0, arity), dtype=np.int64)
+        rows = np.asarray(seq, dtype=np.int64)
+    if rows.ndim == 1:
+        rows = rows.reshape(-1, arity) if arity else rows.reshape(len(rows), 0)
+    if rows.ndim != 2 or rows.shape[1] != arity:
+        raise ValueError(
+            f"partition shape {rows.shape} does not match arity {arity}")
+    return rows
+
+
 class DistributedRelation:
     """A materialised, partitioned bag of partial-result tuples.
 
-    Creation (or incremental generation) charges simulated memory on each
-    machine; :meth:`drop` releases it.  Baselines that keep every
-    intermediate alive (as SEED does) never drop until the end — that is
-    what drives their peak memory in Table 1.
+    Partitions are columnar ``(n, arity)`` int64 arrays (list-of-tuples
+    input is coerced).  Creation (or incremental generation) charges
+    simulated memory on each machine; :meth:`drop` releases it.  Baselines
+    that keep every intermediate alive (as SEED does) never drop until the
+    end — that is what drives their peak memory in Table 1.
     """
 
     def __init__(self, cluster: Cluster, schema: tuple[int, ...],
-                 partitions: list[list[Tuple]], charge_memory: bool = True):
+                 partitions: list, charge_memory: bool = True):
         if len(partitions) != cluster.num_machines:
             raise ValueError("one partition per machine required")
         self.cluster = cluster
         self.schema = schema
-        self.partitions = partitions
+        self.partitions = [_as_partition(p, len(schema)) for p in partitions]
         self._alive = True
         if charge_memory:
             bytes_per_id = cluster.cost.bytes_per_id
-            for m, part in enumerate(partitions):
-                cluster.metrics.alloc(m, len(part) * len(schema) * bytes_per_id)
+            charged: list[float] = []
+            try:
+                for m, part in enumerate(self.partitions):
+                    b = len(part) * len(schema) * bytes_per_id
+                    charged.append(b)  # the raising alloc still charges
+                    cluster.metrics.alloc(m, b)
+            except OutOfMemoryError:
+                for m, b in enumerate(charged):
+                    cluster.metrics.free(m, b)
+                self._alive = False
+                raise
 
     @property
     def total(self) -> int:
@@ -140,18 +185,24 @@ class DistributedRelation:
         """Hash-shuffle by key positions (pushing communication)."""
         cluster = self.cluster
         k = cluster.num_machines
-        parts: list[list[Tuple]] = [[] for _ in range(k)]
+        arity = len(self.schema)
+        by_dest: list[list[np.ndarray]] = [[] for _ in range(k)]
         for src, part in enumerate(self.partitions):
-            counts = [0] * k
-            for f in part:
-                dest = hash(tuple(f[p] for p in key_pos)) % k
-                parts[dest].append(f)
-                counts[dest] += 1
-            for dest, n in enumerate(counts):
-                cluster.push(src, dest, n, len(self.schema))
+            dests = hash_destinations(part[:, list(key_pos)], k)
+            for dest in range(k):
+                rows = part[dests == dest]
+                by_dest[dest].append(rows)
+                cluster.push(src, dest, len(rows), arity)
+        parts = [np.concatenate(by_dest[d]) if by_dest[d]
+                 else np.empty((0, arity), dtype=np.int64)
+                 for d in range(k)]
         shuffled = DistributedRelation(cluster, self.schema, parts)
         self.drop()
-        cluster.metrics.check_time()
+        try:
+            cluster.metrics.check_time()
+        except OvertimeError:
+            shuffled.drop()
+            raise
         return shuffled
 
     def hash_join(self, other: "DistributedRelation",
@@ -160,8 +211,9 @@ class DistributedRelation:
                   count_only: bool = False
                   ) -> "DistributedRelation | int":
         """Distributed hash join: shuffle both sides on the shared key,
-        then join locally per machine.  Consumes both inputs.  Output
-        memory is charged incrementally so explosions abort early.
+        then join locally per machine.  Consumes both inputs (also on
+        ``00M``/``0T`` aborts).  Output memory is charged incrementally so
+        explosions abort early.
 
         With ``count_only`` (for a plan's final join, under the counting
         decompression of §7.1) outputs are counted, not materialised, and
@@ -175,66 +227,105 @@ class DistributedRelation:
             raise ValueError("join with empty key")
         lkey = tuple(self.schema.index(v) for v in shared)
         rkey = tuple(other.schema.index(v) for v in shared)
-        left = self.shuffle(lkey)
-        right = other.shuffle(rkey)
+        left = right = None
+        out_charged = [0.0] * cluster.num_machines
+        try:
+            left = self.shuffle(lkey)
+            right = other.shuffle(rkey)
 
-        out_schema = left.schema + tuple(
-            v for v in right.schema if v not in left.schema)
-        carry = tuple(right.schema.index(v) for v in right.schema
-                      if v not in left.schema)
-        left_only = [v for v in left.schema if v not in shared]
-        right_only = [v for v in right.schema if v not in left.schema]
-        distinct = [(out_schema.index(u), out_schema.index(v))
-                    for u in left_only for v in right_only]
-        positional = new_conditions(out_schema, applied, conditions)
-        out_bytes = len(out_schema) * cost.bytes_per_id
+            out_schema = left.schema + tuple(
+                v for v in right.schema if v not in left.schema)
+            carry = tuple(right.schema.index(v) for v in right.schema
+                          if v not in left.schema)
+            left_only = [v for v in left.schema if v not in shared]
+            right_only = [v for v in right.schema if v not in left.schema]
+            distinct = [(out_schema.index(u), out_schema.index(v))
+                        for u in left_only for v in right_only]
+            positional = new_conditions(out_schema, applied, conditions)
+            out_bytes = len(out_schema) * cost.bytes_per_id
 
-        parts: list[list[Tuple]] = []
-        counted = 0
-        workers = cluster.workers_per_machine
-        for m in range(cluster.num_machines):
-            lpart, rpart = left.partitions[m], right.partitions[m]
-            build_left = len(lpart) <= len(rpart)
-            bpart, ppart = (lpart, rpart) if build_left else (rpart, lpart)
-            bkey, pkey = (lkey, rkey) if build_left else (rkey, lkey)
-            table: dict[Tuple, list[Tuple]] = {}
-            for f in bpart:
-                table.setdefault(tuple(f[p] for p in bkey), []).append(f)
-            out: list[Tuple] = []
-            pending = 0
-            ops = len(bpart) * cost.hash_build_op
-            for f in ppart:
-                ops += cost.hash_probe_op
-                for g in table.get(tuple(f[p] for p in pkey), ()):
-                    lf, rf = (g, f) if build_left else (f, g)
-                    joined = lf + tuple(rf[p] for p in carry)
-                    if any(joined[i] == joined[j] for i, j in distinct):
-                        continue
-                    if any(joined[i] >= joined[j] for i, j in positional):
-                        continue
-                    if count_only:
-                        counted += 1
-                        ops += 2 * cost.emit_op
-                        continue
-                    out.append(joined)
-                    pending += 1
-                    ops += len(joined) * cost.emit_op
-                    if pending >= _CHUNK:
-                        metrics.alloc(m, pending * out_bytes)
-                        pending = 0
-                        metrics.charge_ops(m, ops)
-                        ops = 0.0
-                        metrics.check_time()
-            metrics.alloc(m, pending * out_bytes)
-            metrics.charge_worker_ops(m, [ops / workers] * workers)
-            parts.append(out)
-        left.drop()
-        right.drop()
-        metrics.check_time()
+            parts: list[np.ndarray] = []
+            counted = 0
+            workers = cluster.workers_per_machine
+            for m in range(cluster.num_machines):
+                lpart, rpart = left.partitions[m], right.partitions[m]
+                build_left = len(lpart) <= len(rpart)
+                bpart, ppart = (lpart, rpart) if build_left else (rpart, lpart)
+                bkey, pkey = (lkey, rkey) if build_left else (rkey, lkey)
+                emitted, emit_per_probe = _join_machine(
+                    bpart, ppart, bkey, pkey, build_left, carry,
+                    distinct, positional)
+                total = len(emitted)
+                # replay the scalar probe loop's op chains: build-side
+                # hashing seeds the first chain, the chain resets at every
+                # _CHUNK-tuple memory charge
+                build_base = len(bpart) * cost.hash_build_op
+                if count_only:
+                    counted += total
+                    chain = chunk_charges(
+                        emit_per_probe, total, total + 1,
+                        cost.hash_probe_op, 2 * cost.emit_op,
+                        base=build_base)[0]
+                    metrics.alloc(m, 0 * out_bytes)
+                    metrics.charge_worker_ops(
+                        m, [chain / workers] * workers)
+                    continue
+                charges = chunk_charges(
+                    emit_per_probe, total, _CHUNK, cost.hash_probe_op,
+                    len(out_schema) * cost.emit_op, base=build_base)
+                num_full = total // _CHUNK
+                for c in range(num_full):
+                    out_charged[m] += _CHUNK * out_bytes
+                    metrics.alloc(m, _CHUNK * out_bytes)
+                    metrics.charge_ops(m, charges[c])
+                    metrics.check_time()
+                pending = total - num_full * _CHUNK
+                out_charged[m] += pending * out_bytes
+                metrics.alloc(m, pending * out_bytes)
+                metrics.charge_worker_ops(
+                    m, [charges[num_full] / workers] * workers)
+                parts.append(emitted)
+            left.drop()
+            right.drop()
+            metrics.check_time()
+        except (OutOfMemoryError, OvertimeError):
+            # balance the ledger on abort: both inputs (wherever the abort
+            # hit) and the partially charged output are released
+            for rel in (self, other, left, right):
+                if rel is not None:
+                    rel.drop()
+            for m, b in enumerate(out_charged):
+                metrics.free(m, b)
+            raise
         if count_only:
             return counted
         return DistributedRelation(cluster, out_schema, parts,
                                    charge_memory=False)
+
+
+def _join_machine(bpart: np.ndarray, ppart: np.ndarray,
+                  bkey: tuple[int, ...], pkey: tuple[int, ...],
+                  build_left: bool, carry: tuple[int, ...],
+                  distinct: Sequence[tuple[int, int]],
+                  positional: Sequence[tuple[int, int]]
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """One machine's local join: all key matches (probe-major, bucket
+    insertion order — the scalar dict-of-buckets emission order) with the
+    cross-side distinctness and symmetry filters applied.  Returns the
+    emitted rows and the per-probe-row emit counts."""
+    build_idx, probe_idx = join_pairs(bpart, ppart, bkey, pkey)
+    brows = bpart[build_idx]
+    prows = ppart[probe_idx]
+    lf, rf = (brows, prows) if build_left else (prows, brows)
+    joined = np.concatenate((lf, rf[:, list(carry)]), axis=1)
+    keep = np.ones(len(joined), dtype=bool)
+    for i, j in distinct:
+        keep &= joined[:, i] != joined[:, j]
+    for i, j in positional:
+        keep &= joined[:, i] < joined[:, j]
+    emitted = joined[keep]
+    emit_per_probe = np.bincount(probe_idx[keep], minlength=len(ppart))
+    return emitted, emit_per_probe
 
 
 def valid_leaf_patterns(num_leaves: int,
@@ -250,6 +341,163 @@ def valid_leaf_patterns(num_leaves: int,
     return valid
 
 
+# -- star expansion kernels ----------------------------------------------------
+
+#: ``(pool_size, choose)`` -> index combinations, lexicographic, shared
+#: across vertices/rounds/runs (index patterns depend only on the sizes)
+_COMB_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _comb_indices(pool: int, choose: int) -> np.ndarray:
+    """All ``choose``-combinations of ``range(pool)`` as a 2-D index
+    array, in ``itertools.combinations`` (lexicographic) order."""
+    key = (pool, choose)
+    got = _COMB_CACHE.get(key)
+    if got is None:
+        got = np.asarray(list(combinations(range(pool), choose)),
+                         dtype=np.int64).reshape(-1, choose)
+        _COMB_CACHE[key] = got
+    return got
+
+
+def combo_rows(prefix: np.ndarray, cand_flat: np.ndarray,
+               cand_counts: np.ndarray, nl: int, patterns_arr: np.ndarray,
+               conds: Sequence[tuple[int, int]]
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Star-style combination emission, vectorised.
+
+    For each input row ``i`` (``prefix[i]`` plus its candidate list, the
+    ``cand_counts[i]``-sized slice of the row-major ``cand_flat``), emit
+    ``prefix[i] + leaves`` for every ascending ``nl``-combination of its
+    candidates × every leaf pattern — row-major, combination-major,
+    pattern-minor: the exact order of the scalar
+    ``for combo: for pattern:`` loops.  Rows violating a positional
+    condition ``(i, j)`` (requiring ``row[i] < row[j]``) are dropped.
+
+    Returns ``(rows, row_ids, kept_counts)`` where ``kept_counts[i]`` is
+    row ``i``'s surviving emission count.  Rows with fewer than ``nl``
+    candidates emit nothing.
+    """
+    n, width = prefix.shape[0], prefix.shape[1] + nl
+    empty = (np.empty((0, width), dtype=np.int64),
+             np.empty(0, dtype=np.int64), np.zeros(n, dtype=np.int64))
+    if n == 0 or len(patterns_arr) == 0:
+        return empty
+    # group rows by candidate-list size so each group expands as one
+    # dense (rows, combos, patterns, nl) gather
+    row_order = np.argsort(cand_counts, kind="stable")
+    sorted_counts = cand_counts[row_order]
+    rep = np.repeat(np.arange(n), cand_counts)
+    cand_sorted = cand_flat[np.argsort(cand_counts[rep], kind="stable")]
+    uniq_c, r_cnts = np.unique(sorted_counts, return_counts=True)
+    pieces: list[np.ndarray] = []
+    piece_ids: list[np.ndarray] = []
+    e_off = r_off = 0
+    for c, r_cnt in zip(uniq_c.tolist(), r_cnts.tolist()):
+        grp_rows = row_order[r_off:r_off + r_cnt]
+        seg = cand_sorted[e_off:e_off + c * r_cnt]
+        r_off += r_cnt
+        e_off += c * r_cnt
+        if c < nl:
+            continue
+        leaves = seg.reshape(r_cnt, c)[:, _comb_indices(c, nl)]
+        emit = leaves[:, :, patterns_arr].reshape(r_cnt, -1, nl)
+        per_row = emit.shape[1]  # combos x patterns
+        pieces.append(np.concatenate(
+            (np.repeat(prefix[grp_rows], per_row, axis=0),
+             emit.reshape(-1, nl)), axis=1))
+        piece_ids.append(np.repeat(grp_rows, per_row))
+    if not pieces:
+        return empty
+    rows = np.concatenate(pieces)
+    ids = np.concatenate(piece_ids)
+    # restore input-row order (stable: within a row the combination-major
+    # order is already right)
+    perm = np.argsort(ids, kind="stable")
+    rows, ids = rows[perm], ids[perm]
+    keep = np.ones(len(rows), dtype=bool)
+    for i, j in conds:
+        keep &= rows[:, i] < rows[:, j]
+    rows, ids = rows[keep], ids[keep]
+    return rows, ids, np.bincount(ids, minlength=n)
+
+
+def star_partition(cluster: Cluster, machine: int, local: np.ndarray,
+                   nl: int, patterns_arr: np.ndarray,
+                   root_conds: Sequence[tuple[int, int]], tuple_bytes: int,
+                   alloc_fn: Callable[[int, float], None]
+                   ) -> tuple[np.ndarray, list[float]]:
+    """Materialise one machine's star matches columnar-ly.
+
+    Emits ``(u, leaves...)`` for every local root ``u``, replaying the
+    scalar generation loop's accounting exactly: per-root op chains
+    (``deg·scan_op`` base plus one ``(nl+1)·emit_op`` per emitted tuple)
+    and the incremental ``_CHUNK`` memory-charge/`check_time` sequence,
+    including the final partial-chunk charge.  Returns the partition rows
+    and the per-root op costs (the caller distributes them to workers).
+    """
+    cost = cluster.cost
+    metrics = cluster.metrics
+    g = cluster.pgraph.graph
+    local = np.asarray(local, dtype=np.int64)
+    n = len(local)
+    deg = (g.indptr[local + 1] - g.indptr[local]) if n else \
+        np.zeros(0, dtype=np.int64)
+    base = deg * cost.scan_op
+    el = np.flatnonzero(deg >= nl)
+    roots = local[el]
+    counts = deg[el]
+    total_c = int(counts.sum())
+    rep_start = np.repeat(g.indptr[roots], counts)
+    ramp = np.arange(total_c) - np.repeat(np.cumsum(counts) - counts, counts)
+    cand_flat = g.indices[rep_start + ramp] if total_c else \
+        np.empty(0, dtype=np.int64)
+    rows, _, kept = combo_rows(roots[:, None], cand_flat, counts, nl,
+                               patterns_arr, root_conds)
+    c_full = np.zeros(n, dtype=np.int64)
+    c_full[el] = kept
+    item_ops = chained_costs(base, c_full, (nl + 1) * cost.emit_op).tolist()
+    # scalar memory-charge replay: pending accumulates per eligible root,
+    # flushing (alloc then check_time) whenever it reaches _CHUNK
+    pending = 0
+    for c in kept.tolist():
+        pending += c
+        if pending >= _CHUNK:
+            alloc_fn(machine, pending * tuple_bytes)
+            pending = 0
+            metrics.check_time()
+    alloc_fn(machine, pending * tuple_bytes)
+    return rows, item_ops
+
+
+def _predicted_star_total(degrees: np.ndarray, nl: int,
+                          patterns: int) -> float:
+    """``Σ_u C(d_u, nl)·patterns`` as the historical float chain.
+
+    The chain's terms are non-negative integers, so while the running
+    total stays below 2^53 every add is exact and the order-free integer
+    total matches bit for bit; only past that point is it replayed
+    literally.
+    """
+    elig = degrees[degrees >= nl]
+    total = 0
+    uniq, cnts = np.unique(elig, return_counts=True)
+    for d, c in zip(uniq.tolist(), cnts.tolist()):
+        total += math.comb(d, nl) * patterns * c
+    if total < (1 << 53):
+        return float(total)
+    predicted = 0.0
+    terms: dict[int, int] = {}
+    for d in degrees.tolist():
+        if d >= nl:
+            term = terms.get(d)
+            if term is None:
+                term = math.comb(d, nl) * patterns
+                terms[d] = term
+            predicted += term
+    return predicted
+
+
 def materialize_star(cluster: Cluster, root: int, leaves: Sequence[int],
                      conditions: PartialOrder,
                      applied: set[tuple[int, int]],
@@ -262,7 +510,8 @@ def materialize_star(cluster: Cluster, root: int, leaves: Sequence[int],
     For hub vertices the output is ``C(d, |L|)``-sized — the star explosion
     that makes those systems memory-hungry.  Predicted size is pre-flighted
     against the memory budget and generation charges memory incrementally,
-    so the explosion aborts with ``00M``/``0T`` early.
+    so the explosion aborts with ``00M``/``0T`` early (releasing whatever
+    partial output had been charged).
     """
     cost = cluster.cost
     metrics = cluster.metrics
@@ -271,58 +520,60 @@ def materialize_star(cluster: Cluster, root: int, leaves: Sequence[int],
     root_conds = [(i, j) for i, j in positional if i == 0 or j == 0]
     leaf_conds = [(i - 1, j - 1) for i, j in positional if i != 0 and j != 0]
     patterns = valid_leaf_patterns(len(leaves), leaf_conds)
+    patterns_arr = np.asarray(patterns, dtype=np.int64).reshape(
+        len(patterns), len(leaves))
     nl = len(leaves)
     tuple_bytes = (nl + 1) * cost.bytes_per_id
 
-    # pre-flight: predicted output size and ops per machine
-    for m in range(cluster.num_machines):
-        predicted = 0.0
-        for u in cluster.local_vertices(m):
-            d = cluster.pgraph.graph.degree(int(u))
-            if d >= nl:
-                predicted += math.comb(d, nl) * len(patterns)
-        predicted_bytes = predicted * tuple_bytes / max(1, 2 ** len(root_conds))
-        used = metrics.machines[m].cur_mem_bytes
-        if used + predicted_bytes > cost.memory_budget_bytes:
-            # would not fit even before filtering: report 00M now
-            metrics.alloc(m, predicted_bytes)  # raises OutOfMemoryError
-        est_ops = predicted * (nl + 1) * cost.emit_op
-        if (metrics.compute_time(m) + cost.ops_to_seconds(est_ops)
-                > cost.time_budget_s):
-            raise OvertimeError(cost.time_budget_s + 1, cost.time_budget_s)
+    charged = [0.0] * cluster.num_machines
 
-    parts: list[list[Tuple]] = []
-    workers = cluster.workers_per_machine
-    for m in range(cluster.num_machines):
-        out: list[Tuple] = []
-        pending = 0
-        worker_ops = [0.0] * workers
-        for idx, u in enumerate(cluster.local_vertices(m)):
-            u = int(u)
-            nbrs = cluster.pgraph.neighbours_local(u, m)
-            ops = len(nbrs) * cost.scan_op
-            if len(nbrs) >= nl:
-                for combo in combinations(nbrs.tolist(), nl):
-                    for pattern in patterns:
-                        f = (u,) + tuple(combo[p] for p in pattern)
-                        if any(f[i] >= f[j] for i, j in root_conds):
-                            continue
-                        out.append(f)
-                        pending += 1
-                        ops += (nl + 1) * cost.emit_op
-                if pending >= _CHUNK:
-                    metrics.alloc(m, pending * tuple_bytes)
-                    pending = 0
-                    metrics.check_time()
+    def _alloc(m: int, b: float) -> None:
+        charged[m] += b  # the raising alloc still charges the ledger
+        metrics.alloc(m, b)
+
+    try:
+        # pre-flight: predicted output size and ops per machine; the
+        # historical per-root float chain adds non-negative integer terms,
+        # so below 2^53 it is order-free and equals the exact total
+        indptr = cluster.pgraph.graph.indptr
+        for m in range(cluster.num_machines):
+            local = cluster.local_vertices(m)
+            degs = indptr[local + 1] - indptr[local]
+            predicted = _predicted_star_total(degs, nl, len(patterns))
+            predicted_bytes = predicted * tuple_bytes / max(
+                1, 2 ** len(root_conds))
+            used = metrics.machines[m].cur_mem_bytes
+            if used + predicted_bytes > cost.memory_budget_bytes:
+                # would not fit even before filtering: report 00M now
+                _alloc(m, predicted_bytes)  # raises OutOfMemoryError
+            est_ops = predicted * (nl + 1) * cost.emit_op
+            if (metrics.compute_time(m) + cost.ops_to_seconds(est_ops)
+                    > cost.time_budget_s):
+                raise OvertimeError(cost.time_budget_s + 1, cost.time_budget_s)
+
+        parts: list[np.ndarray] = []
+        workers = cluster.workers_per_machine
+        for m in range(cluster.num_machines):
+            rows, item_ops = star_partition(
+                cluster, m, cluster.local_vertices(m), nl, patterns_arr,
+                root_conds, tuple_bytes, _alloc)
+            # per-root worker assignment is an order-sensitive float chain;
+            # replay it literally over the per-root costs
+            worker_ops = [0.0] * workers
             if workers_balanced:
-                for wi in range(workers):
-                    worker_ops[wi] += ops / workers
+                for ops in item_ops:
+                    for wi in range(workers):
+                        worker_ops[wi] += ops / workers
             else:
-                worker_ops[idx % workers] += ops
-        metrics.alloc(m, pending * tuple_bytes)
-        metrics.charge_worker_ops(m, worker_ops)
-        parts.append(out)
-        metrics.check_time()
+                for idx, ops in enumerate(item_ops):
+                    worker_ops[idx % workers] += ops
+            metrics.charge_worker_ops(m, worker_ops)
+            parts.append(rows)
+            metrics.check_time()
+    except (OutOfMemoryError, OvertimeError):
+        for m, b in enumerate(charged):
+            metrics.free(m, b)
+        raise
     return DistributedRelation(cluster, schema, parts, charge_memory=False)
 
 

@@ -14,6 +14,13 @@ Characteristics reproduced here (Table 1 row BENU):
   DFS cannot batch or overlap those stalls (§1: low CPU utilisation);
 * load skew — work is distributed by the firstly matched (pivot) vertex
   with no stealing (Exp-8's comparison point).
+
+The adjacency pulls stay sequential — the cache hit/miss sequence (and
+its per-request charges) is part of the simulated behaviour — but the
+per-node candidate work is vectorised: intersections use the shared
+``intersect_sorted`` kernel, candidate filtering is mask-based, and the
+innermost recursion level collapses into one ``chain_add`` replay of the
+per-match emit charges.
 """
 
 from __future__ import annotations
@@ -22,7 +29,9 @@ import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..core.cache import LRUCache
+from ..core.kernels import chain_add, intersect_sorted, log2_plus2_table
 from ..core.plan.plans import dfs_order
+from ..core.stealing import chunked_distribution
 from ..query.pattern import QueryGraph
 from ..query.symmetry import symmetry_break
 from .base import BaselineEngine, BaselineResult
@@ -76,6 +85,15 @@ class BenuEngine(BaselineEngine):
             else:
                 cond_by_depth[iu].append((iv, False))  # f[iu] < f[iv]
 
+        graph = cluster.pgraph.graph
+        indices = graph.indices
+        indptr_l = graph.indptr.tolist()
+        owner_l = cluster.pgraph.owner.tolist()
+        # math.log2(d + 2) by degree — the intersection-cost chain replica
+        log2l = [float(x) for x in log2_plus2_table(graph)]
+        iop = cost.intersect_op
+        emit_step = n * cost.emit_op
+
         total = 0
         workers = cluster.workers_per_machine
         for m in range(cluster.num_machines):
@@ -83,8 +101,8 @@ class BenuEngine(BaselineEngine):
             ops_box = [0.0]
 
             def nbrs_of(u: int) -> np.ndarray:
-                if cluster.pgraph.owner_of(u) == m:
-                    return cluster.pgraph.neighbours_local(u, m)
+                if owner_l[u] == m:
+                    return indices[indptr_l[u]:indptr_l[u + 1]]
                 if cache.contains(u):
                     cluster.metrics.record_cache(m, hits=1)
                     ops_box[0] += cache.access_penalty(u)
@@ -99,41 +117,82 @@ class BenuEngine(BaselineEngine):
                 if depth == n:
                     ops_box[0] += n * cost.emit_op
                     return 1
-                cand: np.ndarray | None = None
-                lengths: list[int] = []
-                for b in back[depth]:
-                    nbrs = nbrs_of(match[b])
-                    lengths.append(len(nbrs))
-                    cand = nbrs if cand is None else np.intersect1d(
-                        cand, nbrs, assume_unique=True)
-                ops_box[0] += cost.intersection_ops(lengths)
+                # pull the back-neighbourhoods (the per-pull charges and
+                # the intersection-cost chain stay the historical ones)
+                bd = back[depth]
+                if len(bd) == 1:
+                    cand = nbrs_of(match[bd[0]])
+                    ops_box[0] += float(len(cand)) * iop
+                    rest = ()
+                elif len(bd) == 2:
+                    a0 = nbrs_of(match[bd[0]])
+                    a1 = nbrs_of(match[bd[1]])
+                    if len(a1) < len(a0):
+                        a0, a1 = a1, a0
+                    s = len(a0)
+                    ops_box[0] += float(s) * iop + s * log2l[len(a1)] * iop
+                    cand = a0
+                    rest = (a1,)
+                else:
+                    arrs = [nbrs_of(match[b]) for b in bd]
+                    lengths = sorted(len(a) for a in arrs)
+                    smallest = lengths[0]
+                    ops = float(smallest) * iop
+                    for other in lengths[1:]:
+                        ops += smallest * log2l[other] * iop
+                    ops_box[0] += ops
+                    arrs.sort(key=len)
+                    cand = arrs[0]
+                    rest = arrs[1:]
+                # symmetry conditions select a contiguous window of the
+                # sorted candidates; slice it before intersecting further
+                lo, hi = 0, len(cand)
+                for (pos, greater) in cond_by_depth[depth]:
+                    x = match[pos]
+                    if greater:
+                        i = int(cand.searchsorted(x, "right"))
+                        if i > lo:
+                            lo = i
+                    else:
+                        i = int(cand.searchsorted(x, "left"))
+                        if i < hi:
+                            hi = i
+                if hi <= lo:
+                    return 0
+                cand = cand[lo:hi]
+                for a in rest:
+                    cand = intersect_sorted(cand, a)
+                    if not len(cand):
+                        return 0
+                # distinctness: drop already-matched ids (binary probes —
+                # a match id appears at most once in the unique cand)
+                if depth == n - 1:
+                    # innermost level: each valid candidate is a match,
+                    # charged as one emit-op chain
+                    found = len(cand)
+                    for x in match:
+                        j = int(cand.searchsorted(x))
+                        if j < len(cand) and cand[j] == x:
+                            found -= 1
+                    ops_box[0] = chain_add(ops_box[0], emit_step, found)
+                    return found
+                drop = [j for x in match
+                        if (j := int(cand.searchsorted(x))) < len(cand)
+                        and cand[j] == x]
+                if drop:
+                    cand = np.delete(cand, drop)
                 found = 0
-                assert cand is not None  # queries are connected
-                for v in cand:
-                    v = int(v)
-                    if v in match:
-                        continue
-                    ok = True
-                    for (pos, greater) in cond_by_depth[depth]:
-                        if greater and v <= match[pos]:
-                            ok = False
-                            break
-                        if not greater and v >= match[pos]:
-                            ok = False
-                            break
-                    if ok:
-                        match.append(v)
-                        found += dfs(match, depth + 1)
-                        match.pop()
+                for v in cand.tolist():
+                    match.append(v)
+                    found += dfs(match, depth + 1)
+                    match.pop()
                 return found
 
             # pivot tasks: local edges matching (order[0], order[1])
             task_ops: list[float] = []
             count_m = 0
-            for u in cluster.local_vertices(m):
-                u = int(u)
-                for v in cluster.pgraph.neighbours_local(u, m):
-                    v = int(v)
+            for u in cluster.local_vertices(m).tolist():
+                for v in indices[indptr_l[u]:indptr_l[u + 1]].tolist():
                     ops_box[0] = 2 * cost.scan_op
                     ok = True
                     for (pos, greater) in cond_by_depth[1]:
@@ -148,7 +207,6 @@ class BenuEngine(BaselineEngine):
             total += count_m
             # BENU distributes load by the pivot vertex: contiguous chunks
             # per worker, no stealing (skew preserved)
-            from ..core.stealing import chunked_distribution
             per_worker = chunked_distribution(task_ops, workers)
             cluster.metrics.charge_worker_ops(m, per_worker)
         return self._result(total)

@@ -12,20 +12,27 @@ are processed in fixed-size batches, each expanded breadth-first through
 all rounds.  The heuristic "lacks a tight bound" (§5.1) — a single batch
 can still explode on hub vertices, which the memory budget reports as the
 paper's ``00M``.
+
+The rounds run columnar: a batch's partial matches are ``(n, arity)``
+int64 arrays, the per-hop intersections are batched membership tests
+against the shared edge-composite index, and the per-tuple op chains /
+incremental memory charges of the historical tuple-at-a-time loop are
+replayed bit-identically via :mod:`repro.core.kernels` (see
+``tests/golden/metrics.json``).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 import numpy as np
 
 from ..cluster.cluster import Cluster
+from ..core.kernels import (chained_costs, edge_composite_index, edge_member,
+                            log2_plus2_table)
 from ..core.plan.plans import greedy_order
 from ..core.stealing import distribute_to_workers
 from ..query.pattern import QueryGraph
 from ..query.symmetry import symmetry_break
-from .base import BaselineEngine, BaselineResult, Tuple
+from .base import BaselineEngine, BaselineResult
 
 __all__ = ["BigJoinEngine"]
 
@@ -42,6 +49,10 @@ class BigJoinEngine(BaselineEngine):
         super().__init__(cluster)
         self.edge_batch = edge_batch
         self.order = order
+        graph = cluster.pgraph.graph
+        self._edge_index = edge_composite_index(graph)
+        self._log2t = log2_plus2_table(graph)
+        self._degrees = graph.indptr[1:] - graph.indptr[:-1]
 
     def run(self, query: QueryGraph,
             reset_metrics: bool = True) -> BaselineResult:
@@ -63,30 +74,31 @@ class BigJoinEngine(BaselineEngine):
 
         # round 0: all matches of the first edge, partitioned by owner of
         # the first vertex
-        initial: list[list[Tuple]] = [[] for _ in range(cluster.num_machines)]
+        graph = cluster.pgraph.graph
+        initial: list[np.ndarray] = []
         for m in range(cluster.num_machines):
-            for u in cluster.local_vertices(m):
-                u = int(u)
-                nbrs = cluster.pgraph.neighbours_local(u, m)
-                metrics.charge_ops(m, len(nbrs) * cost.scan_op)
-                for v in nbrs:
-                    v = int(v)
-                    ok = True
-                    for (pos, greater) in conds_at[1]:
-                        if greater and v <= u:
-                            ok = False
-                        if not greater and v >= u:
-                            ok = False
-                    if ok:
-                        initial[m].append((u, v))
+            local = cluster.local_vertices(m)
+            deg = self._degrees[local]
+            # the scan charge is a per-vertex op chain; replay it in order
+            for d in deg.tolist():
+                metrics.charge_ops(m, d * cost.scan_op)
+            ecount = int(deg.sum())
+            us = np.repeat(local, deg)
+            ramp = np.arange(ecount) - np.repeat(np.cumsum(deg) - deg, deg)
+            vs = graph.indices[np.repeat(graph.indptr[local], deg) + ramp] \
+                if ecount else np.empty(0, dtype=np.int64)
+            keep = np.ones(ecount, dtype=bool)
+            for (pos, greater) in conds_at[1]:
+                keep &= (vs > us) if greater else (vs < us)
+            initial.append(np.stack((us[keep], vs[keep]), axis=1)
+                           if ecount else np.empty((0, 2), dtype=np.int64))
 
         total = 0
         batch = self.edge_batch
         num_batches = max(1, max(
             (len(p) + batch - 1) // batch for p in initial))
         for b in range(num_batches):
-            rel: list[list[Tuple]] = [
-                p[b * batch:(b + 1) * batch] for p in initial]
+            rel = [p[b * batch:(b + 1) * batch] for p in initial]
             for m, part in enumerate(rel):
                 metrics.alloc(m, len(part) * 2 * cost.bytes_per_id)
             arity = 2
@@ -124,10 +136,10 @@ class BigJoinEngine(BaselineEngine):
                 by_depth[iu].append((iv, False))
         return by_depth
 
-    def _extend_round(self, rel: list[list[Tuple]], arity: int,
+    def _extend_round(self, rel: list[np.ndarray], arity: int,
                       back: list[int], conds: list[tuple[int, bool]],
                       count_only: bool = False
-                      ) -> "list[list[Tuple]] | int":
+                      ) -> "list[np.ndarray] | int":
         """One wco extension round with pushing communication.
 
         Every tuple is routed through the owners of its back-vertices,
@@ -135,78 +147,141 @@ class BigJoinEngine(BaselineEngine):
         tuple plus the candidates at each hop.  With ``count_only`` (the
         final round under compression [63]) valid extensions are counted
         instead of materialised.
+
+        The round is an array program over each machine's tuple block —
+        per-hop degrees/owners as matrices, candidate shrinking as batch
+        edge-membership, filters as masks — while the simulated charges
+        replay the scalar per-tuple loop: intersection-cost chains via
+        ``chained_costs``, destination-wise incremental memory charges in
+        tuple order, and wire aggregation keyed by first occurrence (the
+        scalar accumulator dict's iteration order).
         """
         cluster = self.cluster
         cost = cluster.cost
         metrics = cluster.metrics
         k = cluster.num_machines
         graph = cluster.pgraph.graph
-        out: list[list[Tuple]] = [[] for _ in range(k)]
-        wire: dict[tuple[int, int], int] = defaultdict(int)
+        owner = cluster.pgraph.owner
+        comp = self._edge_index
+        log2t = self._log2t
+        nv = graph.num_vertices
+        bpi = cost.bytes_per_id
+        w = len(back)
+        back_arr = np.asarray(back, dtype=np.int64)
+        out: list[list[np.ndarray]] = [[] for _ in range(k)]
+        wire: dict[tuple[int, int], int] = {}
         out_bytes = (arity + 1) * cost.bytes_per_id
         counted = 0
 
         for m in range(k):
-            worker_item_ops: list[float] = []
-            pending_by_dest = [0] * k
-            for f in rel[m]:
-                ops = 0.0
-                cand: np.ndarray | None = None
-                here = m
-                lengths: list[int] = []
-                # count-min: visit the binding with the smallest adjacency
-                # first, so the carried candidate list starts minimal [5]
-                hops = sorted(back, key=lambda b: graph.degree(f[b]))
-                for bpos in hops:
-                    u = f[bpos]
-                    dest = cluster.machine_of(u)
-                    if dest != here:
-                        carried = arity + (0 if cand is None else len(cand))
-                        wire[(here, dest)] += carried * cost.bytes_per_id
-                        here = dest
-                    nbrs = graph.neighbours(u)
-                    lengths.append(len(nbrs))
-                    cand = nbrs if cand is None else np.intersect1d(
-                        cand, nbrs, assume_unique=True)
-                ops += cost.intersection_ops(lengths)
-                assert cand is not None
-                for v in cand:
-                    v = int(v)
-                    if v in f:
-                        continue
-                    ok = True
-                    for (pos, greater) in conds:
-                        if greater and v <= f[pos]:
-                            ok = False
+            rows = rel[m]
+            nrows = len(rows)
+            # count-min: visit the binding with the smallest adjacency
+            # first, so the carried candidate list starts minimal [5]
+            bverts = rows[:, back_arr]
+            bdeg = self._degrees[bverts]
+            ordcols = np.argsort(bdeg, axis=1, kind="stable")
+            hop_verts = np.take_along_axis(bverts, ordcols, axis=1)
+            hop_deg = np.take_along_axis(bdeg, ordcols, axis=1)
+
+            # candidate shrinking, one hop at a time; carried[i] is the
+            # candidate-list length when moving into hop i
+            c0 = hop_deg[:, 0]
+            total_c = int(c0.sum())
+            ramp = np.arange(total_c) - np.repeat(np.cumsum(c0) - c0, c0)
+            cand = graph.indices[
+                np.repeat(graph.indptr[hop_verts[:, 0]], c0) + ramp] \
+                if total_c else np.empty(0, dtype=np.int64)
+            counts = c0
+            carried = [np.zeros(nrows, dtype=np.int64)]
+            base = hop_deg[:, 0] * cost.intersect_op
+            for i in range(1, w):
+                carried.append(counts)
+                row_ids = np.repeat(np.arange(nrows), counts)
+                keep = edge_member(comp, nv, hop_verts[row_ids, i], cand)
+                cand = cand[keep]
+                counts = np.bincount(row_ids[keep], minlength=nrows)
+                base = base + (c0 * log2t[hop_deg[:, i]]) * cost.intersect_op
+
+            # wire accounting: a tuple moves whenever the next hop's owner
+            # differs from where it currently sits
+            owners_h = owner[hop_verts]
+            prev = np.full(nrows, m, dtype=np.int64)
+            pids: list[np.ndarray] = []
+            oidx: list[np.ndarray] = []
+            wbytes: list[np.ndarray] = []
+            for i in range(w):
+                dest = owners_h[:, i]
+                moved = dest != prev
+                mi = np.flatnonzero(moved)
+                pids.append(prev[mi] * k + dest[mi])
+                oidx.append(mi * w + i)
+                wbytes.append((arity + carried[i][mi]) * bpi)
+                prev = dest
+            pid = np.concatenate(pids)
+            if len(pid):
+                totals = np.zeros(k * k, dtype=np.int64)
+                np.add.at(totals, pid, np.concatenate(wbytes))
+                # first-occurrence order of (src, dst) pairs — the scalar
+                # dict's insertion order, which fixes the send sequence
+                order_pid = pid[np.argsort(np.concatenate(oidx),
+                                           kind="stable")]
+                remaining = set(np.unique(pid).tolist())
+                for p in order_pid.tolist():
+                    if p in remaining:
+                        remaining.remove(p)
+                        key = (p // k, p % k)
+                        wire[key] = wire.get(key, 0) + int(totals[p])
+                        if not remaining:
                             break
-                        if not greater and v >= f[pos]:
-                            ok = False
-                            break
-                    if ok:
-                        if count_only:
-                            counted += 1
-                            ops += cost.emit_op
-                            continue
-                        out[here].append(f + (v,))
-                        pending_by_dest[here] += 1
-                        ops += (arity + 1) * cost.emit_op
-                        if pending_by_dest[here] >= _CHUNK:
-                            metrics.alloc(here,
-                                          pending_by_dest[here] * out_bytes)
-                            pending_by_dest[here] = 0
-                            metrics.check_time()
-                worker_item_ops.append(ops)
+
+            # final filters: distinctness against the whole tuple, then
+            # the depth's symmetry conditions
+            row_ids = np.repeat(np.arange(nrows), counts)
+            keep = ~(cand[:, None] == rows[row_ids]).any(axis=1)
+            for (pos, greater) in conds:
+                bound = rows[row_ids, pos]
+                keep &= (cand > bound) if greater else (cand < bound)
+            kept_ids = row_ids[keep]
+            c_row = np.bincount(kept_ids, minlength=nrows)
+            here_final = owners_h[:, w - 1] if w else \
+                np.full(nrows, m, dtype=np.int64)
+
+            if count_only:
+                counted += int(c_row.sum())
+                item_ops = chained_costs(base, c_row, cost.emit_op)
+                pending_by_dest = [0] * k
+            else:
+                item_ops = chained_costs(base, c_row,
+                                         (arity + 1) * cost.emit_op)
+                emitted = np.concatenate(
+                    (rows[kept_ids], cand[keep][:, None]), axis=1)
+                emit_dest = here_final[kept_ids]
+                for dest in range(k):
+                    out[dest].append(emitted[emit_dest == dest])
+                # destination-wise incremental memory charges, replayed in
+                # tuple order (flush at every _CHUNK pending per dest)
+                pending_by_dest = [0] * k
+                for r in np.flatnonzero(c_row).tolist():
+                    h = int(here_final[r])
+                    tot = pending_by_dest[h] + int(c_row[r])
+                    for _ in range(tot // _CHUNK):
+                        metrics.alloc(h, _CHUNK * out_bytes)
+                        metrics.check_time()
+                    pending_by_dest[h] = tot % _CHUNK
             for dest, pending in enumerate(pending_by_dest):
                 metrics.alloc(dest, pending * out_bytes)
             # timely dataflow shards work finely across a machine's workers
             per_worker = distribute_to_workers(
-                worker_item_ops, cluster.workers_per_machine, stealing=True)
+                item_ops.tolist(), cluster.workers_per_machine, stealing=True)
             metrics.charge_worker_ops(m, per_worker)
-            metrics.free(m, len(rel[m]) * arity * cost.bytes_per_id)
+            metrics.free(m, nrows * arity * cost.bytes_per_id)
         for (src, dst), nbytes in wire.items():
             metrics.send(src, dst, nbytes,
                          messages=max(1, nbytes // (64 * 1024)))
         metrics.check_time()
         if count_only:
             return counted
-        return out
+        return [np.concatenate(parts) if parts
+                else np.empty((0, arity + 1), dtype=np.int64)
+                for parts in out]

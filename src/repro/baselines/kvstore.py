@@ -43,9 +43,11 @@ class ExternalKVStore:
         g = self.cluster.graph
         load_s = g.num_vertices * cost.kvstore_request_s
         self.cluster.metrics.charge_time(0, load_s)
-        self.cluster.metrics.send(
-            0, (1 % max(1, self.cluster.num_machines)),
-            self.cluster.graph_bytes(), messages=g.num_vertices)
+        # the store is off-cluster: the loader's NIC carries the whole graph
+        # regardless of cluster size (the old in-cluster ``send`` degenerated
+        # to a free machine-0 self-send on single-machine clusters)
+        self.cluster.metrics.send_external(
+            0, self.cluster.graph_bytes(), messages=g.num_vertices)
         self.cluster.metrics.check_time()
         if load_s > cost.time_budget_s:
             raise OvertimeError(load_s, cost.time_budget_s)
@@ -62,9 +64,9 @@ class ExternalKVStore:
         metrics.charge_ops(machine, cost.kvstore_access_op)
         wire = (cost.rpc_request_overhead_bytes
                 + (1 + len(nbrs)) * cost.bytes_per_id)
-        # the store is external: charge the full round trip to the client
-        dest = (machine + 1) % max(2, self.cluster.num_machines)
-        metrics.send(machine, dest, wire, messages=2)
+        # the store is external: the full round trip rides the client's NIC
+        # (request + response = 2 messages; no in-cluster receiver exists)
+        metrics.send_external(machine, wire, messages=2)
         metrics.record_rpc(machine)
         self.requests += 1
         return nbrs

@@ -15,28 +15,64 @@ Characteristics reproduced here (Table 1 row RADS):
   and per region group — communication volume stays high;
 * region groups are a static heuristic: with hub vertices a single group
   can still blow the memory budget (§5.1).
+
+The rounds are columnar: partial results are ``(n, arity)`` int64 arrays,
+edge verification is a batch membership test against the shared
+edge-composite index, and leaf enumeration shares the grouped combination
+expansion of :func:`repro.baselines.base.combo_rows`.  All simulated
+charges replay the historical per-tuple loop bit-identically (per-row op
+chains via ``chained_costs``, the per-root incremental memory-charge
+sequence, and ``get_nbrs`` pulls issued with the same request sets).
 """
 
 from __future__ import annotations
 
 import math
-from itertools import combinations
 
 import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..cluster.errors import OvertimeError
+from ..core.kernels import chained_costs, edge_composite_index, edge_member
 from ..core.plan.logical import LogicalPlan
 from ..core.plan.plans import rads_plan
 from ..core.stealing import chunked_distribution
 from ..query.pattern import QueryGraph
 from ..query.symmetry import symmetry_break
-from .base import (BaselineEngine, BaselineResult, Tuple,
-                   valid_leaf_patterns, new_conditions)
+from .base import (BaselineEngine, BaselineResult, combo_rows,
+                   new_conditions, star_partition, valid_leaf_patterns)
 
 __all__ = ["RadsEngine"]
 
 _CHUNK = 4096
+
+
+def _predicted_total(degrees: np.ndarray, choose: int,
+                     patterns: int) -> float:
+    """The pre-flight size prediction ``Σ C(d, choose)·patterns``.
+
+    The historical accumulator was a per-root float chain, but its terms
+    are non-negative integers: while the running total stays below 2^53
+    every add is exact, so the chain is order-free and equals the exact
+    integer total.  Only past that point does the literal replay matter.
+    """
+    elig = degrees[degrees >= choose]
+    total = 0
+    uniq, cnts = np.unique(elig, return_counts=True)
+    for d, c in zip(uniq.tolist(), cnts.tolist()):
+        total += math.comb(d, choose) * patterns * c
+    if total < (1 << 53):
+        return float(total)
+    predicted = 0.0
+    terms: dict[int, int] = {}
+    for d in degrees.tolist():
+        if d >= choose:
+            term = terms.get(d)
+            if term is None:
+                term = math.comb(d, choose) * patterns
+                terms[d] = term
+            predicted += term
+    return predicted
 
 
 class RadsEngine(BaselineEngine):
@@ -49,6 +85,9 @@ class RadsEngine(BaselineEngine):
         if region_groups < 1:
             raise ValueError("need at least one region group")
         self.region_groups = region_groups
+        graph = cluster.pgraph.graph
+        self._edge_index = edge_composite_index(graph)
+        self._degrees = graph.indptr[1:] - graph.indptr[:-1]
 
     def run(self, query: QueryGraph, plan: LogicalPlan | None = None,
             reset_metrics: bool = True) -> BaselineResult:
@@ -88,14 +127,14 @@ class RadsEngine(BaselineEngine):
 
     # -- rounds -----------------------------------------------------------------------
 
-    def _free_rel(self, rel: list[list[Tuple]], arity: int) -> None:
+    def _free_rel(self, rel: list[np.ndarray], arity: int) -> None:
         bpi = self.cluster.cost.bytes_per_id
         for m, part in enumerate(rel):
             self.cluster.metrics.free(m, len(part) * arity * bpi)
 
     def _initial_star(self, root: int, leaves: list[int], conditions,
                       applied: set[tuple[int, int]], group: int
-                      ) -> tuple[list[list[Tuple]], tuple[int, ...]]:
+                      ) -> tuple[list[np.ndarray], tuple[int, ...]]:
         """Materialise the first star for this region group's pivots."""
         cluster = self.cluster
         cost = cluster.cost
@@ -106,44 +145,28 @@ class RadsEngine(BaselineEngine):
         leaf_conds = [(i - 1, j - 1) for i, j in positional
                       if i != 0 and j != 0]
         patterns = valid_leaf_patterns(len(leaves), leaf_conds)
+        patterns_arr = np.asarray(patterns, dtype=np.int64).reshape(
+            len(patterns), len(leaves))
         nl = len(leaves)
         tuple_bytes = (nl + 1) * cost.bytes_per_id
 
-        rel: list[list[Tuple]] = []
+        rel: list[np.ndarray] = []
         workers = cluster.workers_per_machine
         for m in range(cluster.num_machines):
-            local = [int(u) for u in cluster.local_vertices(m)
-                     if int(u) % self.region_groups == group]
-            self._preflight(m, ((cluster.pgraph.graph.degree(u), nl)
-                                for u in local), len(patterns), tuple_bytes)
-            out: list[Tuple] = []
-            pending = 0
-            item_ops: list[float] = []
-            for u in local:
-                nbrs = cluster.pgraph.neighbours_local(u, m)
-                ops = len(nbrs) * cost.scan_op
-                if len(nbrs) >= nl:
-                    for combo in combinations(nbrs.tolist(), nl):
-                        for pattern in patterns:
-                            f = (u,) + tuple(combo[p] for p in pattern)
-                            if any(f[i] >= f[j] for i, j in root_conds):
-                                continue
-                            out.append(f)
-                            pending += 1
-                            ops += (nl + 1) * cost.emit_op
-                    if pending >= _CHUNK:
-                        metrics.alloc(m, pending * tuple_bytes)
-                        pending = 0
-                        metrics.check_time()
-                item_ops.append(ops)
-            metrics.alloc(m, pending * tuple_bytes)
+            local = cluster.local_vertices(m)
+            local = local[local % self.region_groups == group]
+            self._preflight(m, self._degrees[local], nl, len(patterns),
+                            tuple_bytes)
+            rows, item_ops = star_partition(
+                cluster, m, local, nl, patterns_arr, root_conds,
+                tuple_bytes, metrics.alloc)
             # RADS distributes by region (pivot) groups: chunked, no stealing
             metrics.charge_worker_ops(
                 m, chunked_distribution(item_ops, workers))
-            rel.append(out)
+            rel.append(rows)
         return rel, schema
 
-    def _expand_round(self, rel: list[list[Tuple]], schema: tuple[int, ...],
+    def _expand_round(self, rel: list[np.ndarray], schema: tuple[int, ...],
                       star, conditions, applied: set[tuple[int, int]],
                       count_only: bool = False):
         """Expand by a star rooted at a matched vertex, verifying matched
@@ -155,6 +178,10 @@ class RadsEngine(BaselineEngine):
         cluster = self.cluster
         cost = cluster.cost
         metrics = cluster.metrics
+        graph = cluster.pgraph.graph
+        owner = cluster.pgraph.owner
+        comp = self._edge_index
+        nv = graph.num_vertices
         root = star.star_root()
         if root not in schema:
             raise ValueError("RADS star root must already be matched")
@@ -164,97 +191,111 @@ class RadsEngine(BaselineEngine):
         v2 = [v for v in leaves if v not in schema]      # expand leaves
         out_schema = schema + tuple(v2)
         positional = new_conditions(out_schema, applied, conditions)
-        base = len(schema)
+        base_w = len(schema)
         new_conds = [(i, j) for i, j in positional
-                     if i >= base or j >= base]
-        leaf_conds = [(i - base, j - base) for i, j in new_conds
-                      if i >= base and j >= base]
+                     if i >= base_w or j >= base_w]
+        leaf_conds = [(i - base_w, j - base_w) for i, j in new_conds
+                      if i >= base_w and j >= base_w]
         mixed_conds = [(i, j) for i, j in new_conds
-                       if (i >= base) != (j >= base)]
+                       if (i >= base_w) != (j >= base_w)]
         patterns = valid_leaf_patterns(len(v2), leaf_conds)
+        patterns_arr = np.asarray(patterns, dtype=np.int64).reshape(
+            len(patterns), len(v2))
         nl = len(v2)
         tuple_bytes = len(out_schema) * cost.bytes_per_id
 
-        out_rel: list[list[Tuple]] = []
+        out_rel: list[np.ndarray] = []
         counted_total = 0
         workers = cluster.workers_per_machine
         for m in range(cluster.num_machines):
             part = rel[m]
+            nrows = len(part)
+            roots = part[:, root_pos] if nrows else np.empty(0, np.int64)
             # region-scoped pull of every distinct remote root (no
-            # cross-round cache: RADS re-fetches each round)
-            needed = {f[root_pos] for f in part
-                      if cluster.machine_of(f[root_pos]) != m}
-            fetched = cluster.get_nbrs(m, needed) if needed else {}
-            self._preflight(
-                m, ((cluster.pgraph.graph.degree(f[root_pos]), nl)
-                    for f in part), max(1, len(patterns)), tuple_bytes)
-            out: list[Tuple] = []
-            pending = 0
-            item_ops: list[float] = []
-            for f in part:
-                r = f[root_pos]
-                nbrs = fetched.get(r)
-                if nbrs is None:
-                    nbrs = cluster.pgraph.neighbours_local(r, m)
-                ops = len(nbrs) * cost.intersect_op
-                # verify matched leaves: edges (root, v) for v in V1
-                ok = True
-                for v in v1:
-                    target = f[schema.index(v)]
-                    i = int(np.searchsorted(nbrs, target))
-                    if i >= len(nbrs) or nbrs[i] != target:
-                        ok = False
-                        break
-                if not ok:
-                    item_ops.append(ops)
-                    continue
-                if not v2:
-                    if count_only:
-                        counted_total += 1
-                        ops += cost.emit_op
-                    else:
-                        out.append(f)
-                        pending += 1
-                    item_ops.append(ops)
-                    continue
-                cand = [v for v in nbrs.tolist() if v not in f]
-                if len(cand) >= nl:
-                    for combo in combinations(cand, nl):
-                        for pattern in patterns:
-                            g = f + tuple(combo[p] for p in pattern)
-                            if any(g[i] >= g[j] for i, j in mixed_conds):
-                                continue
-                            if count_only:
-                                counted_total += 1
-                                ops += cost.emit_op
-                                continue
-                            out.append(g)
-                            pending += 1
-                            ops += len(g) * cost.emit_op
+            # cross-round cache: RADS re-fetches each round); the set is
+            # built in tuple order (the historical insertion sequence)
+            needed = set(roots[owner[roots] != m].tolist())
+            if needed:
+                cluster.get_nbrs(m, needed)
+            self._preflight(m, self._degrees[roots], nl,
+                            max(1, len(patterns)), tuple_bytes)
+            base = self._degrees[roots] * cost.intersect_op
+            # verify matched leaves: edges (root, v) for v in V1
+            ok = np.ones(nrows, dtype=bool)
+            for v in v1:
+                ok &= edge_member(comp, nv, roots, part[:, schema.index(v)])
+            kept_per_row = np.zeros(nrows, dtype=np.int64)
+            if not v2:
+                n_ok = int(ok.sum())
+                if count_only:
+                    counted_total += n_ok
+                    kept_per_row[ok] = 1
+                    item_ops = chained_costs(base, kept_per_row, cost.emit_op)
+                    pending = 0
+                else:
+                    out = part[ok]
+                    item_ops = base
+                    pending = n_ok
+                metrics.alloc(m, pending * tuple_bytes)
+                metrics.charge_worker_ops(
+                    m, chunked_distribution(item_ops.tolist(), workers))
+                if not count_only:
+                    out_rel.append(out)
+                continue
+            # candidates: the pulled adjacency minus already-matched ids
+            prefix = part[ok]
+            okidx = np.flatnonzero(ok)
+            cdeg = self._degrees[roots[okidx]]
+            total_c = int(cdeg.sum())
+            ramp = np.arange(total_c) - np.repeat(
+                np.cumsum(cdeg) - cdeg, cdeg)
+            cand = graph.indices[
+                np.repeat(graph.indptr[roots[okidx]], cdeg) + ramp] \
+                if total_c else np.empty(0, dtype=np.int64)
+            row_ids = np.repeat(np.arange(len(okidx)), cdeg)
+            keep = ~(cand[:, None] == prefix[row_ids]).any(axis=1) \
+                if total_c else np.empty(0, dtype=bool)
+            cand = cand[keep]
+            counts = np.bincount(row_ids[keep], minlength=len(okidx))
+            emitted, _, kept = combo_rows(prefix, cand, counts, nl,
+                                          patterns_arr, mixed_conds)
+            kept_per_row[okidx] = kept
+            step = cost.emit_op if count_only else \
+                len(out_schema) * cost.emit_op
+            item_ops = chained_costs(base, kept_per_row, step)
+            if count_only:
+                counted_total += int(kept.sum())
+                metrics.alloc(m, 0 * tuple_bytes)
+            else:
+                # incremental memory charges, replayed per root in tuple
+                # order (flush at every _CHUNK pending)
+                pending = 0
+                for c in kept.tolist():
+                    pending += c
                     if pending >= _CHUNK:
                         metrics.alloc(m, pending * tuple_bytes)
                         pending = 0
                         metrics.check_time()
-                item_ops.append(ops)
-            metrics.alloc(m, pending * tuple_bytes)
+                metrics.alloc(m, pending * tuple_bytes)
+                out_rel.append(emitted)
             metrics.charge_worker_ops(
-                m, chunked_distribution(item_ops, workers))
-            out_rel.append(out)
+                m, chunked_distribution(item_ops.tolist(), workers))
         self._free_rel(rel, len(schema))
         metrics.check_time()
         if count_only:
             return counted_total, out_schema
         return out_rel, out_schema
 
-    def _preflight(self, machine: int, degree_choose, patterns: int,
-                   tuple_bytes: int) -> None:
-        """Abort with 00M/0T before an expansion that cannot fit."""
+    def _preflight(self, machine: int, degrees: np.ndarray, choose: int,
+                   patterns: int, tuple_bytes: int) -> None:
+        """Abort with 00M/0T before an expansion that cannot fit.
+
+        The prediction is an order-sensitive float chain over the roots'
+        degrees, replayed literally (with the per-degree term cached).
+        """
         cost = self.cluster.cost
         metrics = self.cluster.metrics
-        predicted = 0.0
-        for d, k in degree_choose:
-            if d >= k:
-                predicted += math.comb(d, k) * patterns
+        predicted = _predicted_total(degrees, choose, patterns)
         predicted_bytes = predicted * tuple_bytes / 2.0
         used = metrics.machines[machine].cur_mem_bytes
         if used + predicted_bytes > cost.memory_budget_bytes:

@@ -138,6 +138,20 @@ class Metrics:
         d.bytes_received += num_bytes
         d.messages_received += messages
 
+    def send_external(self, machine: int, num_bytes: int,
+                      messages: int = 1) -> None:
+        """Record a transfer to an *off-cluster* endpoint (external KV store).
+
+        Only the requesting machine's NIC is charged — the remote side is
+        outside the simulated cluster, so there is no receiver machine to
+        account and no in-cluster destination to pick.  Unlike :meth:`send`
+        this never degenerates to a free ``src == dst`` self-send on
+        single-machine clusters.
+        """
+        m = self.machines[machine]
+        m.bytes_sent += num_bytes
+        m.messages_sent += messages
+
     def record_rpc(self, machine: int, requests: int = 1) -> None:
         """Count RPC round trips issued by ``machine``."""
         self.machines[machine].rpc_requests += requests

@@ -28,14 +28,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .testing.configs import default_matrix, smoke_matrix
+from .testing.configs import baseline_matrix, default_matrix, smoke_matrix
 from .testing.harness import ConformanceHarness, load_artifact, run_case
 
 __all__ = ["main", "build_parser"]
 
+_MATRICES = {"full": default_matrix, "smoke": smoke_matrix,
+             "baseline": baseline_matrix}
+
 
 def _matrix(name: str):
-    return default_matrix() if name == "full" else smoke_matrix()
+    return _MATRICES[name]()
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -106,8 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="minimum workload × config cases to run")
     r.add_argument("--seed", type=int, default=0,
                    help="base seed of the deterministic workload stream")
-    r.add_argument("--matrix", choices=("smoke", "full"), default="smoke",
-                   help="engine matrix to fan each workload across")
+    r.add_argument("--matrix", choices=("smoke", "full", "baseline"),
+                   default="smoke",
+                   help="engine matrix to fan each workload across "
+                        "(baseline: the four baseline systems + HUGE's "
+                        "plug-in replicas of their plans)")
     r.add_argument("--max-vertices", type=int, default=14,
                    help="data-graph size cap")
     r.add_argument("--max-seconds", type=float, default=None,
@@ -129,7 +135,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_replay)
 
     m = sub.add_parser("matrix", help="list the engine matrix")
-    m.add_argument("--matrix", choices=("smoke", "full"), default="full")
+    m.add_argument("--matrix", choices=("smoke", "full", "baseline"),
+                   default="full")
     m.set_defaults(func=_cmd_matrix)
     return parser
 

@@ -1,4 +1,4 @@
-"""Columnar batches and bit-exact cost arithmetic for the hot path.
+"""Columnar batches for the hot path.
 
 The runtime moves partial matches as 2-D ``int64`` arrays (one row per
 partial match, one column per matched query vertex) wrapped in a thin
@@ -7,32 +7,23 @@ symmetry masks, emission) removes the interpretation overhead of
 tuple-at-a-time loops, but the *simulated* metrics must not move by a
 single bit: experiment tables are derived from them, so the vectorised
 operators must charge exactly the floating-point op totals the scalar
-loops accumulated.
-
-Two pieces make that possible:
-
-* :func:`chain_add` — reproduces ``n`` repeated float additions
-  (``ops += step`` per emitted tuple) in ``O(log)`` time.  Repeated
-  addition is *not* ``base + n*step``: once partial sums cross a
-  power-of-two boundary the addend no longer aligns with the
-  accumulator's ulp and each step rounds.  ``chain_add`` jumps through
-  the exactly-representable stretches and performs literal additions
-  only at binade crossings.
-* :func:`hash_destinations` — a vectorised replica of CPython's tuple
-  hash (the xxHash-based ``tuplehash``), so columnar shuffles route rows
-  to the same machines the scalar ``hash(tuple(...)) % k`` did.
+loops accumulated.  The arithmetic that makes that possible —
+:func:`~repro.core.kernels.chain_add`,
+:func:`~repro.core.kernels.exact_chain_total` and the tuple-hash replica
+behind :func:`~repro.core.kernels.hash_destinations` — lives in
+:mod:`repro.core.kernels`, shared with the baseline engines, and is
+re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 
-__all__ = ["Batch", "chain_add", "exact_chain_total", "hash_destinations"]
+from .kernels import chain_add, exact_chain_total, hash_destinations
 
-_MANT = 1 << 53  # integers below this are exactly representable in float64
+__all__ = ["Batch", "chain_add", "exact_chain_total", "hash_destinations"]
 
 
 class Batch:
@@ -111,132 +102,3 @@ class Batch:
         """Yield consecutive slices (views) of at most ``size`` rows."""
         for i in range(0, len(self), size):
             yield Batch(self.rows[i:i + size])
-
-
-# -- exact chained addition ----------------------------------------------------
-
-
-def _as_grid(x: float) -> tuple[int, int]:
-    """``x`` as ``(numerator, denominator)`` with a power-of-two denominator
-    (finite floats always admit this form)."""
-    return x.as_integer_ratio()
-
-
-def chain_add(base: float, step: float, n: int) -> float:
-    """The float result of ``n`` repeated additions ``base += step``.
-
-    Bit-identical to the literal loop, in ``O(binade crossings)`` rather
-    than ``O(n)``: while every partial sum is an integer multiple of the
-    common grid below ``2**53``, additions are exact and the whole
-    stretch collapses to closed form; at a boundary, one literal
-    (rounding) addition is performed and the grid re-derived.
-
-    Only the non-negative accumulation the cost model performs is
-    supported (``base >= 0``, ``step >= 0``).
-    """
-    if n <= 0 or step == 0.0:
-        return base
-    if base < 0.0 or step < 0.0:  # pragma: no cover - cost model invariant
-        raise ValueError("chain_add models non-negative cost accumulation")
-    cur = float(base)
-    ns, ds = _as_grid(float(step))
-    remaining = n
-    while remaining:
-        if cur + step == cur:
-            break  # absorbed: every further addition is a no-op
-        nc, dc = _as_grid(cur)
-        d = max(dc, ds)  # both are powers of two
-        a = nc * (d // dc)
-        b = ns * (d // ds)
-        room = (_MANT - 1 - a) // b  # max steps with a + k*b < 2**53
-        if room <= 0:
-            cur = cur + step  # literal, rounding addition
-            remaining -= 1
-            continue
-        k = room if room < remaining else remaining
-        total = a + k * b  # exact: below 2**53, so is every partial sum
-        cur = math.ldexp(float(total), -(d.bit_length() - 1))
-        remaining -= k
-    return cur
-
-
-def exact_chain_total(parts: Sequence[tuple[float, int]]) -> float | None:
-    """Total of an interleaved non-negative addition chain, if provably exact.
-
-    ``parts`` lists ``(step, count)`` contributions to a chain that starts
-    at ``0.0``.  When every step lies on a common power-of-two grid and
-    the final (hence every partial) sum stays below ``2**53`` grid units,
-    any interleaving of the additions is exact, so the order-free closed
-    form equals the scalar chain.  Returns ``None`` when exactness cannot
-    be guaranteed — the caller must replay the chain step by step.
-    """
-    den = 1
-    nums: list[tuple[int, int, int]] = []
-    for step, count in parts:
-        if count <= 0 or step == 0.0:
-            continue
-        if step < 0.0:
-            return None
-        ns, ds = _as_grid(float(step))
-        den = max(den, ds)
-        nums.append((ns, ds, count))
-    total = 0
-    for ns, ds, count in nums:
-        total += ns * (den // ds) * count
-    if total >= _MANT:
-        return None
-    return math.ldexp(float(total), -(den.bit_length() - 1))
-
-
-# -- CPython tuple-hash replication --------------------------------------------
-
-_XXPRIME_1 = np.uint64(11400714785074694791)
-_XXPRIME_2 = np.uint64(14029467366897019727)
-_XXPRIME_5 = np.uint64(2870177450012600261)
-_U64_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
-_PYHASH_MODULUS = (1 << 61) - 1  # Mersenne prime; hash(v) == v below it
-
-
-def _hash_rows_vector(keys: np.ndarray) -> np.ndarray:
-    """xxHash-style ``tuplehash`` of each row (CPython >= 3.8)."""
-    n, width = keys.shape
-    acc = np.full(n, _XXPRIME_5, dtype=np.uint64)
-    for j in range(width):
-        lane = keys[:, j].astype(np.uint64)
-        acc += lane * _XXPRIME_2
-        acc = (acc << np.uint64(31)) | (acc >> np.uint64(33))
-        acc *= _XXPRIME_1
-    acc += np.uint64(width) ^ (_XXPRIME_5 ^ np.uint64(3527539))
-    acc[acc == _U64_MAX] = np.uint64(1546275796)
-    return acc.view(np.int64)
-
-
-def _vector_hash_matches_interpreter() -> bool:
-    """Self-check: does the replica agree with this interpreter's hash()?"""
-    rng = np.random.default_rng(0)
-    for width in (1, 2, 3):
-        sample = rng.integers(0, 1 << 40, size=(8, width), dtype=np.int64)
-        ours = _hash_rows_vector(sample)
-        theirs = [hash(tuple(int(x) for x in row)) for row in sample]
-        if ours.tolist() != theirs:
-            return False
-    return True
-
-
-_VECTOR_HASH_OK = _vector_hash_matches_interpreter()
-
-
-def hash_destinations(keys: np.ndarray, k: int) -> np.ndarray:
-    """``hash(tuple(row)) % k`` for every row of ``keys``, vectorised.
-
-    Falls back to per-row interpreter hashing when the xxHash replica
-    does not match this interpreter (non-CPython, or ids at or above the
-    ``2**61 - 1`` hash modulus where ``hash(v) != v``).
-    """
-    keys = np.ascontiguousarray(keys, dtype=np.int64)
-    if (_VECTOR_HASH_OK and
-            (keys.size == 0 or int(keys.max()) < _PYHASH_MODULUS)):
-        return _hash_rows_vector(keys) % k
-    return np.asarray(
-        [hash(tuple(int(x) for x in row)) % k for row in keys],
-        dtype=np.int64).reshape(len(keys))

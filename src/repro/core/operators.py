@@ -12,7 +12,7 @@ operations; only genuinely stateful steps (cache reads, per-row
 intersections against adjacency lists) keep a per-row loop.  The charged
 op totals are **bit-identical** to the historical tuple-at-a-time loops:
 repeated per-emit additions are reproduced exactly with
-:func:`~repro.core.batch.chain_add` and shuffle destinations with the
+:func:`~repro.core.kernels.chain_add` and shuffle destinations with the
 vectorised tuple-hash replica (see ``tests/golden/metrics.json``).
 
 ``PULL-EXTEND`` implements the two-stage execution strategy of Algorithm 4:
@@ -26,16 +26,18 @@ issued from inside the intersect loop.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..obs.trace import NULL_TRACER
-from .batch import Batch, chain_add, exact_chain_total, hash_destinations
+from .batch import Batch
 from .cache import LRBUCache, LRUCache
 from .dataflow import ExtendSpec, JoinSpec, ScanSpec
+from .kernels import (chain_add, chained_costs, chunk_charges,
+                      edge_composite_index, edge_member, hash_destinations,
+                      intersect_sorted, join_pairs, log2_plus2_table)
 
 __all__ = ["ExecContext", "ScanOp", "ExtendOp", "SinkConsumer", "JoinBuffer",
            "join_stream", "Batch", "Tuple"]
@@ -85,11 +87,8 @@ class ExecContext:
         batch with a single vectorised ``searchsorted``.
         """
         if self._edge_index is None:
-            g = self.cluster.pgraph.graph
-            n = g.num_vertices
-            self._edge_index = (np.repeat(
-                np.arange(n, dtype=np.int64), np.diff(g.indptr)) * n
-                + g.indices)
+            self._edge_index = edge_composite_index(
+                self.cluster.pgraph.graph)
         return self._edge_index
 
     def log2_table(self) -> np.ndarray:
@@ -99,20 +98,8 @@ class ExecContext:
         per extra list; indexing this table reproduces ``math.log2``'s
         exact float results (``np.log2`` may differ in the last ulp)."""
         if self._log2_table is None:
-            g = self.cluster.pgraph.graph
-            max_deg = int(np.diff(g.indptr).max()) if g.num_vertices else 0
-            self._log2_table = np.asarray(
-                [math.log2(d + 2) for d in range(max_deg + 1)])
+            self._log2_table = log2_plus2_table(self.cluster.pgraph.graph)
         return self._log2_table
-
-
-def _intersect_sorted(cand: np.ndarray, other: np.ndarray) -> np.ndarray:
-    """Intersection of two sorted unique id arrays, preserving order."""
-    if len(cand) == 0 or len(other) == 0:
-        return cand[:0]
-    idx = np.searchsorted(other, cand)
-    idx[idx == len(other)] = 0
-    return cand[other[idx] == cand]
 
 
 class ScanOp:
@@ -331,7 +318,7 @@ class ExtendOp:
             for other in lists[1:]:
                 if len(cand) == 0:
                     break
-                cand = _intersect_sorted(cand, other)
+                cand = intersect_sorted(cand, other)
             ops = cost.intersection_ops([len(l) for l in lists]) + sum(penalties)
             if (spec.new_label is not None and labels is not None
                     and len(cand)):
@@ -426,29 +413,9 @@ class ExtendOp:
 
     def _edge_member(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
         """Vectorised adjacency test: is ``dst[i]`` a neighbour of ``src[i]``?"""
-        comp = self.ctx.edge_index()
-        if len(comp) == 0:
-            return np.zeros(len(src), dtype=bool)
-        q = src * self.ctx.cluster.pgraph.graph.num_vertices + dst
-        idx = np.searchsorted(comp, q)
-        idx[idx == len(comp)] = 0
-        return comp[idx] == q
-
-    def _chained_costs(self, base: np.ndarray, counts: np.ndarray,
-                       step: float) -> np.ndarray:
-        """``chain_add(base[i], step, counts[i])`` for every emitting row,
-        deduplicated over distinct ``(base, count)`` pairs."""
-        nz = np.flatnonzero(counts)
-        if not len(nz):
-            return base
-        pairs = np.stack((base[nz].view(np.int64), counts[nz]), axis=1)
-        uq, inv = np.unique(pairs, axis=0, return_inverse=True)
-        vals = np.asarray([
-            chain_add(float(np.int64(b).view(np.float64)), step, int(c))
-            for b, c in uq.tolist()])
-        out = base.copy()
-        out[nz] = vals[inv]
-        return out
+        return edge_member(self.ctx.edge_index(),
+                           self.ctx.cluster.pgraph.graph.num_vertices,
+                           src, dst)
 
     def _process_vector(self, machine: int, rows: np.ndarray,
                         count_only: bool) -> tuple[Batch, list[float], int]:
@@ -510,7 +477,7 @@ class ExtendOp:
 
         emit_step = cost.emit_op if count_only else (
             (in_arity + 1) * cost.emit_op)
-        item_costs = self._chained_costs(base, counts, emit_step).tolist()
+        item_costs = chained_costs(base, counts, emit_step).tolist()
         if count_only:
             return Batch.empty(self.out_arity), item_costs, int(len(cand))
         if len(cand):
@@ -663,92 +630,6 @@ def join_stream(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
         right.release(machine)
 
 
-def _join_pairs(build: np.ndarray, probe: np.ndarray,
-                build_key: tuple[int, ...], probe_key: tuple[int, ...]
-                ) -> tuple[np.ndarray, np.ndarray]:
-    """All (build row index, probe row index) key matches, emitted
-    probe-major with build rows in insertion order within each bucket —
-    the exact emission order of the scalar dict-of-buckets join."""
-    nb = len(build)
-    all_keys = np.concatenate(
-        (build[:, list(build_key)], probe[:, list(probe_key)]))
-    _, inv = np.unique(all_keys, axis=0, return_inverse=True)
-    inv = inv.reshape(-1)
-    build_gid, probe_gid = inv[:nb], inv[nb:]
-    num_groups = int(inv.max()) + 1 if len(inv) else 0
-    group_counts = np.bincount(build_gid, minlength=num_groups)
-    # stable sort by group: within a group, ascending row index = the
-    # order rows were inserted into the bucket
-    build_order = np.argsort(build_gid, kind="stable")
-    offsets = np.concatenate(([0], np.cumsum(group_counts)))
-    per_probe = group_counts[probe_gid]
-    total = int(per_probe.sum())
-    probe_idx = np.repeat(np.arange(len(probe)), per_probe)
-    ramp = np.arange(total) - np.repeat(
-        np.cumsum(per_probe) - per_probe, per_probe)
-    build_idx = build_order[np.repeat(offsets[probe_gid], per_probe) + ramp]
-    return build_idx, probe_idx
-
-
-def _chunk_charges(emit_per_probe: np.ndarray, total: int, batch_size: int,
-                   hash_op: float, emit_step: float) -> list[float]:
-    """Per-chunk op charges replicating the scalar probe loop's chains.
-
-    The scalar loop accumulated ``probe_ops`` (one ``hash_probe_op`` per
-    probe row, one ``emit_step`` per emitted row) and reset it at every
-    ``batch_size``-row yield.  Chunk ``c``'s chain therefore contains the
-    emits of rows ``[c*B, (c+1)*B)`` plus the hash charges of the probe
-    rows first *reached* during that chunk.  A probe row is reached once
-    all earlier rows' emissions are out, i.e. at emitted-tuple index
-    ``T_p`` (the exclusive running sum of per-row emit counts).
-    """
-    n_probe = len(emit_per_probe)
-    num_full = total // batch_size
-    n_chains = num_full + 1  # the last chain is the post-loop charge
-    if n_probe:
-        reached_at = np.cumsum(emit_per_probe) - emit_per_probe
-        hash_chain = np.minimum(reached_at // batch_size, num_full)
-        hash_counts = np.bincount(hash_chain, minlength=n_chains)
-    else:
-        hash_counts = np.zeros(n_chains, dtype=np.int64)
-    emit_counts = np.zeros(n_chains, dtype=np.int64)
-    if total:
-        emit_chain = np.minimum(np.arange(total) // batch_size, num_full)
-        emit_counts = np.bincount(emit_chain, minlength=n_chains)
-    charges: list[float] = []
-    exact = True
-    for c in range(n_chains):
-        closed = exact_chain_total(
-            [(hash_op, int(hash_counts[c])), (emit_step, int(emit_counts[c]))])
-        if closed is None:
-            exact = False
-            break
-        charges.append(closed)
-    if exact:
-        return charges
-    # rare fallback (cost weights off the common power-of-two grid):
-    # replay the interleaved chain row by row
-    charges = [0.0] * n_chains
-    ops = 0.0
-    chain = 0
-    filled = 0
-    for p in range(n_probe):
-        ops += hash_op
-        todo = int(emit_per_probe[p])
-        while todo:
-            take = min(todo, batch_size - filled)
-            ops = chain_add(ops, emit_step, take)
-            filled += take
-            todo -= take
-            if filled == batch_size and chain < num_full:
-                charges[chain] = ops
-                ops = 0.0
-                chain += 1
-                filled = 0
-    charges[chain] = ops
-    return charges
-
-
 def _join_stream_inner(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
                        right: JoinBuffer, machine: int, batch_size: int,
                        opid: str = ""):
@@ -763,7 +644,7 @@ def _join_stream_inner(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
 
     if tracer.enabled:
         t_seg = tracer.now(machine)
-    build_idx, probe_idx = _join_pairs(build, probe, build_key, probe_key)
+    build_idx, probe_idx = join_pairs(build, probe, build_key, probe_key)
     ctx.metrics.charge_ops(machine, len(build) * cost.hash_build_op)
     if tracer.enabled:
         tracer.complete("build", machine, t_seg, tracer.now(machine),
@@ -784,8 +665,8 @@ def _join_stream_inner(ctx: ExecContext, spec: JoinSpec, left: JoinBuffer,
     emit_per_probe = np.bincount(probe_idx[keep], minlength=len(probe))
     total = len(emitted)
 
-    charges = _chunk_charges(emit_per_probe, total, batch_size,
-                             cost.hash_probe_op, out_arity * cost.emit_op)
+    charges = chunk_charges(emit_per_probe, total, batch_size,
+                            cost.hash_probe_op, out_arity * cost.emit_op)
     num_full = total // batch_size
     for c in range(num_full):
         ctx.metrics.charge_ops(machine, charges[c])

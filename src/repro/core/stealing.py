@@ -70,8 +70,11 @@ def chunked_distribution(item_costs: Sequence[float],
     if not item_costs:
         return totals
     chunk = (len(item_costs) + workers - 1) // workers
-    for i, cost in enumerate(item_costs):
-        totals[min(i // chunk, workers - 1)] += cost
+    # each worker's load is a left-to-right sum of its contiguous slice
+    # (the last worker takes the tail), which is exactly what sum() does
+    for w in range(workers - 1):
+        totals[w] = float(sum(item_costs[w * chunk:(w + 1) * chunk]))
+    totals[workers - 1] = float(sum(item_costs[(workers - 1) * chunk:]))
     return totals
 
 

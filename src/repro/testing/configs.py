@@ -29,8 +29,8 @@ from ..core.cache import CACHE_VARIANTS
 from ..core.engine import EngineConfig
 from ..core.stealing import STEALING_MODES
 
-__all__ = ["BASELINE_ENGINES", "PLAN_MODES", "EngineSpec", "default_matrix",
-           "smoke_matrix"]
+__all__ = ["BASELINE_ENGINES", "PLAN_MODES", "EngineSpec", "baseline_matrix",
+           "default_matrix", "smoke_matrix"]
 
 #: baseline engines the harness can run (HUGE is ``"huge"``)
 BASELINE_ENGINES = ("seed", "bigjoin", "benu", "rads")
@@ -149,6 +149,18 @@ def default_matrix() -> list[EngineSpec]:
         EngineSpec("benu", engine="benu"),
         EngineSpec("rads", engine="rads"),
     ]
+
+
+def baseline_matrix() -> list[EngineSpec]:
+    """The baseline-systems profile: the four reproduced systems plus the
+    HUGE plug-in plans that replay their logical strategies.  This is the
+    matrix the columnar baseline runtime is validated against — fuzzing it
+    cross-checks the vectorised SEED/BiGJoin/BENU/RADS inner loops (and
+    their OOM/overtime trip points) against every oracle without paying
+    for the full HUGE scheduler/cache dimensions."""
+    keep = {"huge-plugin-seed", "huge-plugin-benu", "huge-plugin-rads",
+            "huge-plugin-starjoin", "seed", "bigjoin", "benu", "rads"}
+    return [s for s in default_matrix() if s.name in keep]
 
 
 def smoke_matrix() -> list[EngineSpec]:

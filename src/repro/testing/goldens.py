@@ -24,23 +24,27 @@ import json
 import sys
 from typing import Any
 
+from ..cluster.cluster import Cluster
+from ..cluster.cost import CostModel
 from ..graph import generators
 from ..query.pattern import get_query
-from .configs import EngineSpec, default_matrix
-from .harness import execute
+from .configs import BASELINE_ENGINES, EngineSpec, default_matrix
+from .harness import _BASELINES, execute
 from .workloads import Workload, random_workload
 
-__all__ = ["GOLDEN_SEEDS", "capture_goldens", "golden_specs",
-           "golden_workloads"]
+__all__ = ["GOLDEN_SEEDS", "capture_goldens", "golden_budget_cases",
+           "golden_specs", "golden_workloads"]
 
 #: workload-generator seeds frozen into the golden file
 GOLDEN_SEEDS = (1, 2, 3, 5, 8, 13)
 
 
 def golden_specs() -> list[EngineSpec]:
-    """The HUGE side of the engine matrix (baselines keep their own
-    enumeration code and are covered by the conformance oracles)."""
-    return [s for s in default_matrix() if s.is_huge]
+    """The full engine matrix: every HUGE configuration plus the four
+    baseline systems.  The baselines' simulated accounting is pinned the
+    same way the HUGE runtime's is — their columnar rewrites must replay
+    the scalar cost chains bit for bit."""
+    return default_matrix()
 
 
 def golden_workloads() -> list[tuple[str, Workload]]:
@@ -60,8 +64,51 @@ def golden_workloads() -> list[tuple[str, Workload]]:
     return cases
 
 
+def golden_budget_cases() -> list[tuple[str, Workload, float, float]]:
+    """Budget-constrained baseline cases: ``(name, workload, memory_budget,
+    time_budget)``.  These pin the OOM/overtime *trip points* — a rewrite
+    that charges identical totals but trips a budget one allocation earlier
+    or later changes the abort-time snapshot and fails the golden."""
+    cases = []
+    dense = generators.erdos_renyi(36, 0.3, seed=53)
+    cases.append(("er36-q2-mem5k", Workload.from_parts(
+        dense, get_query("q2"), num_machines=2, workers_per_machine=3,
+        partition_seed=2, seed=53), 5e3, float("inf")))
+    big = generators.power_law_cluster(60, 3, triad_p=0.6, seed=97)
+    cases.append(("plc60-q1-time.8ms", Workload.from_parts(
+        big, get_query("q1"), num_machines=3, workers_per_machine=2,
+        partition_seed=4, seed=97), float("inf"), 8e-4))
+    return cases
+
+
+def _budget_record(workload: Workload, engine: str, memory_budget: float,
+                   time_budget: float) -> dict[str, Any]:
+    """One budget-constrained baseline run: the error (or count) plus the
+    abort-time metrics snapshot, so *where* the budget tripped is pinned,
+    not just whether it did."""
+    cost = CostModel(memory_budget_bytes=memory_budget,
+                     time_budget_s=time_budget)
+    cluster = Cluster(workload.graph(),
+                      num_machines=workload.num_machines,
+                      workers_per_machine=workload.workers_per_machine,
+                      cost=cost, seed=workload.partition_seed,
+                      labels=workload.label_array())
+    record: dict[str, Any] = {}
+    try:
+        result = _BASELINES[engine](cluster).run(workload.pattern())
+        record["count"] = result.count
+    except Exception as exc:  # noqa: BLE001 - the abort IS the observable
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    record["report"] = cluster.metrics.report().as_dict()
+    return record
+
+
 def _record(workload: Workload, spec: EngineSpec) -> dict[str, Any]:
     """One engine run reduced to its accounting-relevant observables."""
+    if not spec.supports(workload):
+        # label-constrained patterns are HUGE-only; pin that fact so a
+        # baseline silently starting to "support" one shows up as drift
+        return {"unsupported": True}
     outcome = execute(workload, spec)
     if outcome.error is not None:
         return {"error": outcome.error}
@@ -82,6 +129,13 @@ def capture_goldens() -> dict[str, Any]:
         for spec in specs:
             case["specs"][spec.name] = _record(workload, spec)
         out["cases"][wname] = case
+    out["budget_cases"] = {}
+    for bname, workload, mem, tb in golden_budget_cases():
+        case = {"workload": workload.describe(), "engines": {}}
+        for engine in BASELINE_ENGINES:
+            case["engines"][engine] = _budget_record(workload, engine,
+                                                     mem, tb)
+        out["budget_cases"][bname] = case
     return out
 
 

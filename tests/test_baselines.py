@@ -5,7 +5,8 @@ import pytest
 from repro.baselines import (BenuEngine, BigJoinEngine, DistributedRelation,
                              RadsEngine, SeedEngine, count_matches,
                              materialize_star, valid_leaf_patterns)
-from repro.cluster import Cluster
+from repro.cluster import (Cluster, CostModel, OutOfMemoryError,
+                           OvertimeError)
 from repro.core import HugeEngine
 from repro.graph import generators as gen
 from repro.query import get_query, symmetry_break
@@ -183,3 +184,147 @@ class TestKVStore:
         store = ExternalKVStore(cluster)
         store.load()
         assert cluster.metrics.machines[0].direct_compute_s > 0
+
+    def test_single_machine_cluster_still_charges_wire(self, er_graph):
+        # regression: load's destination used to be ``1 % max(1, k)`` —
+        # a machine-0 self-send on single-machine clusters, i.e. the whole
+        # graph upload (and every get round trip) was accounted as free
+        from repro.baselines import ExternalKVStore
+
+        solo = Cluster(er_graph, num_machines=1, workers_per_machine=2)
+        store = ExternalKVStore(solo)
+        store.load()
+        m = solo.metrics.machines[0]
+        assert m.bytes_sent == solo.graph_bytes()
+        assert m.messages_sent == er_graph.num_vertices
+
+        sent_before = m.bytes_sent
+        store.get(0, 3)  # must not index a non-existent second machine
+        assert m.bytes_sent > sent_before
+        assert m.messages_sent == er_graph.num_vertices + 2
+        assert m.rpc_requests == 1
+
+    def test_wire_charges_match_across_cluster_sizes(self, er_graph):
+        # the external store's traffic is off-cluster: the sender-side
+        # totals must not depend on how many in-cluster machines exist
+        from repro.baselines import ExternalKVStore
+
+        totals = []
+        for k in (1, 2, 4):
+            c = Cluster(er_graph, num_machines=k, workers_per_machine=2)
+            store = ExternalKVStore(c)
+            store.load()
+            store.get(0, 3)
+            m = c.metrics.machines[0]
+            totals.append((m.bytes_sent, m.messages_sent))
+        assert totals[0] == totals[1] == totals[2]
+
+
+class TestMemoryOracle:
+    """Every exit of ``hash_join``/``materialize_star`` balances the
+    simulated memory ledger: inputs are consumed, aborts release whatever
+    partial output had been charged, and no path drives an allocator
+    negative (``mem_underflows`` stays 0)."""
+
+    @staticmethod
+    def _assert_ledger_clean(cl):
+        for m in cl.metrics.machines:
+            assert m.cur_mem_bytes == 0
+            assert m.mem_underflows == 0
+
+    @staticmethod
+    def _skewed_pair(cl, rows=200):
+        """Two relations sharing one hot key, so the join output lands on
+        a single machine and dwarfs the inputs."""
+        left = DistributedRelation(
+            cl, (0, 1), [[(0, i + 1) for i in range(rows)], [], [], []])
+        right = DistributedRelation(
+            cl, (0, 2),
+            [[], [(0, rows + i + 1) for i in range(rows)], [], []])
+        return left, right
+
+    def _fresh_cluster(self, er_graph, **cost_kwargs):
+        return Cluster(er_graph, num_machines=4, workers_per_machine=4,
+                       seed=1, cost=CostModel(**cost_kwargs))
+
+    def test_hash_join_consumes_inputs(self, er_graph):
+        cl = self._fresh_cluster(er_graph)
+        left, right = self._skewed_pair(cl, rows=20)
+        out = left.hash_join(right, [], set())
+        # only the output remains charged: both inputs (and the shuffled
+        # copies) were dropped on the way
+        used = sum(m.cur_mem_bytes for m in cl.metrics.machines)
+        assert used == out.total * out.tuple_bytes()
+        out.drop()
+        self._assert_ledger_clean(cl)
+
+    def test_hash_join_count_only_leaves_no_memory(self, er_graph):
+        cl = self._fresh_cluster(er_graph)
+        left, right = self._skewed_pair(cl, rows=20)
+        count = left.hash_join(right, [], set(), count_only=True)
+        assert isinstance(count, int) and count == 20 * 20
+        self._assert_ledger_clean(cl)
+
+    def test_hash_join_oom_abort_releases_everything(self, er_graph):
+        # inputs (3.2 kB/side) fit; the first 4096-tuple output chunk
+        # (~98 kB on the hot machine) trips the budget mid-join
+        cl = self._fresh_cluster(er_graph, memory_budget_bytes=50_000)
+        left, right = self._skewed_pair(cl)
+        with pytest.raises(OutOfMemoryError):
+            left.hash_join(right, [], set())
+        self._assert_ledger_clean(cl)
+
+    def test_hash_join_overtime_abort_releases_everything(self, er_graph):
+        # calibrate: a full run's simulated time, then budget half of it so
+        # some check_time() inside the join aborts the run
+        cl = self._fresh_cluster(er_graph)
+        left, right = self._skewed_pair(cl)
+        left.hash_join(right, [], set()).drop()
+        full = cl.metrics.report().total_time_s
+        cl = self._fresh_cluster(er_graph, time_budget_s=full / 2)
+        left, right = self._skewed_pair(cl)
+        with pytest.raises(OvertimeError):
+            left.hash_join(right, [], set())
+        self._assert_ledger_clean(cl)
+
+    def _run_star(self, er_graph, **cost_kwargs):
+        from repro.query import QueryGraph
+
+        cl = self._fresh_cluster(er_graph, **cost_kwargs)
+        star = QueryGraph(3, [(0, 1), (0, 2)])
+        rel = materialize_star(cl, 0, [1, 2], symmetry_break(star), set())
+        return cl, rel
+
+    def test_materialize_star_drop_balances(self, er_graph):
+        cl, rel = self._run_star(er_graph)
+        used = sum(m.cur_mem_bytes for m in cl.metrics.machines)
+        assert used == rel.total * rel.tuple_bytes()
+        rel.drop()
+        self._assert_ledger_clean(cl)
+
+    def test_materialize_star_oom_abort_releases_charged(self, er_graph):
+        cl, rel = self._run_star(er_graph)
+        peak = cl.metrics.report().peak_memory_bytes
+        rel.drop()
+        # half the real peak: either the pre-flight prediction or an
+        # incremental generation chunk must trip, releasing all charges
+        cl = self._fresh_cluster(er_graph, memory_budget_bytes=peak / 2)
+        from repro.query import QueryGraph
+
+        star = QueryGraph(3, [(0, 1), (0, 2)])
+        with pytest.raises(OutOfMemoryError):
+            materialize_star(cl, 0, [1, 2], symmetry_break(star), set())
+        self._assert_ledger_clean(cl)
+
+    def test_materialize_star_overtime_abort_releases_charged(self,
+                                                              er_graph):
+        cl, rel = self._run_star(er_graph)
+        full = cl.metrics.report().total_time_s
+        rel.drop()
+        from repro.query import QueryGraph
+
+        star = QueryGraph(3, [(0, 1), (0, 2)])
+        cl = self._fresh_cluster(er_graph, time_budget_s=full / 2)
+        with pytest.raises(OvertimeError):
+            materialize_star(cl, 0, [1, 2], symmetry_break(star), set())
+        self._assert_ledger_clean(cl)

@@ -14,8 +14,8 @@ import os
 
 import pytest
 
-from repro.testing.goldens import (capture_goldens, golden_specs,
-                                   golden_workloads)
+from repro.testing.goldens import (capture_goldens, golden_budget_cases,
+                                   golden_specs, golden_workloads)
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
                            "metrics.json")
@@ -38,6 +38,23 @@ def test_golden_file_covers_matrix(goldens):
     assert set(goldens["cases"]) == case_names
     for case in goldens["cases"].values():
         assert set(case["specs"]) == spec_names
+    budget_names = {name for name, _, _, _ in golden_budget_cases()}
+    assert set(goldens["budget_cases"]) == budget_names
+
+
+def test_golden_file_covers_baselines(goldens):
+    # every baseline engine is golden-pinned on the unlabelled workloads
+    # (labelled ones are recorded as explicitly unsupported)
+    for case in goldens["cases"].values():
+        for engine in ("seed", "bigjoin", "benu", "rads"):
+            assert engine in case["specs"]
+
+
+def test_budget_trip_points_bit_identical(goldens, current):
+    # OOM/overtime aborts must trip at the same charge: both the error
+    # string (which embeds the tripping machine/amount) and the full
+    # abort-time metrics snapshot are compared exactly
+    assert current["budget_cases"] == goldens["budget_cases"]
 
 
 @pytest.mark.parametrize("case_name",
