@@ -1,0 +1,113 @@
+"""Serving-tier benchmark: mixed-priority workload on the query service.
+
+Measures the serving tier itself (wall-clock throughput and latency
+percentiles), not the simulated engine: a seeded 32-query mixed-priority
+workload — half submitted as isomorphic relabellings to exercise the
+canonical plan cache, with injected worker crashes recovered by retry —
+runs on a 4-worker service under a finite admission budget.  Every
+completed query is verified bit-identical to its solo run, so the
+benchmark doubles as the serving acceptance gate.
+
+Each run appends one record to ``results/BENCH_serving.json``::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--label after]
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI: 8q
+
+The seed is pinned through ``REPRO_BENCH_SEED`` (default 1) like every
+other benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import BENCH_SEED, RESULTS_DIR  # noqa: E402
+
+from repro.graph import load_dataset  # noqa: E402
+from repro.serve import LoadDriver, WorkloadSpec  # noqa: E402
+from repro.testing import check_driver_report  # noqa: E402
+
+RECORD_PATH = os.path.join(RESULTS_DIR, "BENCH_serving.json")
+
+DATASET = "GO"
+NUM_QUERIES = 32
+NUM_WORKERS = 4
+CRASHES = 2
+#: admission budget sized so queries queue behind the budget (covering
+#: the fits-now path) without ever being unrunnable
+BUDGET_BYTES = 64e9
+
+
+def bench(label: str, smoke: bool = False) -> dict:
+    queries = 8 if smoke else NUM_QUERIES
+    crashes = 1 if smoke else CRASHES
+    graph = load_dataset(DATASET, seed=BENCH_SEED + 6)
+    spec = WorkloadSpec(
+        num_queries=queries, dataset=DATASET, seed=BENCH_SEED,
+        relabel_fraction=0.5, crashes=crashes,
+        tenants=("alpha", "beta"))
+    driver = LoadDriver(graph, spec, num_workers=NUM_WORKERS,
+                        memory_budget_bytes=BUDGET_BYTES)
+    report = driver.run(verify=True)
+
+    violations = check_driver_report(report)
+    svc = report.service
+    record = {
+        "label": label,
+        "seed": BENCH_SEED,
+        "workload": (f"{queries}q/{DATASET} x{NUM_WORKERS}w "
+                     f"crashes={crashes}"),
+        "wall_s": round(report.wall_s, 4),
+        "throughput_qps": round(svc["throughput_qps"], 2),
+        "by_status": report.counts_by_status,
+        "latency_p50_s": round(svc["latency"]["p50_s"], 4),
+        "latency_p95_s": round(svc["latency"]["p95_s"], 4),
+        "latency_p99_s": round(svc["latency"]["p99_s"], 4),
+        "queue_wait_p95_s": round(svc["queue_wait"]["p95_s"], 4),
+        "plan_cache_hit_rate": round(svc["plan_cache"]["hit_rate"], 4),
+        "plan_cache_hits": svc["plan_cache"]["hits"],
+        "worker_crashes": svc["worker_crashes"],
+        "retries": svc["retries"],
+        "delivery_violations": svc["delivery_violations"],
+        "peak_reserved_mb": round(
+            svc["admission"]["peak_reserved_bytes"] / 1e6, 2),
+        "verified_vs_solo": report.verified,
+        "oracle_violations": [str(v) for v in violations],
+    }
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="run",
+                        help="tag for this record (e.g. before/after)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (8 queries); record not saved")
+    ns = parser.parse_args(argv)
+    record = bench(ns.label, smoke=ns.smoke)
+    print(json.dumps(record, indent=2))
+    failed = (not record["verified_vs_solo"] or record["oracle_violations"]
+              or record["worker_crashes"] < (1 if ns.smoke else CRASHES)
+              or record["plan_cache_hits"] == 0
+              or record["by_status"].get("completed", 0) == 0)
+    if ns.smoke:
+        return 1 if failed else 0
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    trajectory = []
+    if os.path.exists(RECORD_PATH):
+        with open(RECORD_PATH, encoding="utf-8") as f:
+            trajectory = json.load(f)
+    trajectory.append(record)
+    with open(RECORD_PATH, "w", encoding="utf-8") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,15 @@ Commands
 
         python -m repro conformance run --cases 100 --seed 1
         python -m repro conformance replay artifact.json
+
+``serve``
+    Start the concurrent query service and drive a seeded mixed-priority
+    workload through it (admission control, plan caching, worker-pool
+    execution, optional injected crashes), then print the service
+    metrics; ``--verify`` re-checks every query against a solo run::
+
+        python -m repro serve --data GO --queries 32 --service-workers 4 \\
+            --crash 2 --verify --trace serve.json
 """
 
 from __future__ import annotations
@@ -155,6 +164,70 @@ def _cmd_motifs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import LoadDriver, WorkloadSpec
+
+    graph = _load_graph(args.data, args.scale)
+    spec = WorkloadSpec(
+        num_queries=args.queries, dataset=args.data.upper(),
+        patterns=tuple(args.patterns.split(",")),
+        num_machines=args.machines, workers_per_machine=args.workers,
+        seed=args.seed, relabel_fraction=args.relabel_fraction,
+        deadline_fraction=args.deadline_fraction, deadline_s=args.deadline,
+        tenants=tuple(args.tenants.split(",")), crashes=args.crash)
+    driver = LoadDriver(
+        graph, spec, num_workers=args.service_workers,
+        memory_budget_bytes=(args.budget_mb * 1e6 if args.budget_mb
+                             else float("inf")),
+        tenant_max_inflight=args.tenant_cap, trace=bool(args.trace))
+    report = driver.run(verify=args.verify)
+    if args.trace and driver.service and driver.service.tracer:
+        driver.service.tracer.save(
+            args.trace, meta={"workload": f"{spec.num_queries}q "
+                              f"seed={spec.seed} {spec.dataset}"})
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+
+    svc = report.service
+    print(f"data graph: {graph}")
+    print(f"workload: {spec.num_queries} queries on {args.service_workers} "
+          f"service workers, seed {spec.seed}")
+    by = ", ".join(f"{k}={v}" for k, v in sorted(
+        report.counts_by_status.items()))
+    print(f"outcomes: {by}")
+    print(f"wall time: {report.wall_s:.3f}s  "
+          f"({svc['throughput_qps']:.1f} completed q/s)")
+    lat = svc["latency"]
+    print(f"latency: p50 {lat['p50_s'] * 1e3:.1f}ms  "
+          f"p95 {lat['p95_s'] * 1e3:.1f}ms  p99 {lat['p99_s'] * 1e3:.1f}ms")
+    pc = svc["plan_cache"]
+    print(f"plan cache: {pc['hits']} hits / {pc['misses']} misses "
+          f"(hit rate {pc['hit_rate']:.1%})")
+    print(f"admission: peak reserved "
+          f"{svc['admission']['peak_reserved_bytes'] / 1e6:.2f} MB, "
+          f"{svc['rejected']} rejected, ledger after drain "
+          f"{svc['reserved_bytes']:.0f} B")
+    if args.crash:
+        print(f"faults: {svc['worker_crashes']} worker crashes, "
+              f"{svc['retries']} retries, "
+              f"{svc['delivery_violations']} delivery violations")
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"(load in https://ui.perfetto.dev)")
+    if args.verify:
+        if report.verified:
+            print("verify: all completed queries bit-identical to solo runs")
+        else:
+            print("verify: FAILED")
+            for msg in report.verify_failures:
+                print(f"  {msg}")
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -213,6 +286,41 @@ def build_parser() -> argparse.ArgumentParser:
     common(m)
     m.add_argument("--k", type=int, default=3, choices=(2, 3, 4, 5))
     m.set_defaults(func=_cmd_motifs)
+
+    s = sub.add_parser("serve",
+                       help="run the concurrent query service under a "
+                            "seeded workload")
+    common(s)
+    s.add_argument("--queries", type=int, default=32,
+                   help="number of requests in the workload")
+    s.add_argument("--patterns", default=",".join(
+        ("triangle", "q1", "q2", "q3", "q4")),
+                   help="comma-separated benchmark pattern names to cycle")
+    s.add_argument("--service-workers", type=int, default=4,
+                   help="worker threads in the service pool")
+    s.add_argument("--budget-mb", type=float, default=None,
+                   help="global admission memory budget in MB "
+                        "(default: unlimited)")
+    s.add_argument("--relabel-fraction", type=float, default=0.5,
+                   help="fraction of requests submitted as isomorphic "
+                        "relabellings (plan-cache exercise)")
+    s.add_argument("--deadline-fraction", type=float, default=0.0,
+                   help="fraction of requests carrying a deadline")
+    s.add_argument("--deadline", type=float, default=5.0,
+                   help="deadline in seconds for deadline-carrying requests")
+    s.add_argument("--tenants", default="default",
+                   help="comma-separated tenant names to cycle")
+    s.add_argument("--tenant-cap", type=int, default=None,
+                   help="max in-flight queries per tenant")
+    s.add_argument("--crash", type=int, default=0,
+                   help="inject N worker crashes (recovered by retry)")
+    s.add_argument("--verify", action="store_true",
+                   help="check each served query against a solo run")
+    s.add_argument("--trace", metavar="FILE",
+                   help="write a wall-clock Chrome trace of the service run")
+    s.add_argument("--json", action="store_true",
+                   help="print the full driver report as JSON")
+    s.set_defaults(func=_cmd_serve)
 
     c = sub.add_parser("conformance",
                        help="differential conformance harness "

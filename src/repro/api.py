@@ -18,6 +18,8 @@ adaptive scheduler.  For fine-grained control use
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from .cluster.cluster import Cluster
 from .cluster.cost import CostModel
 from .core.engine import EngineConfig, EnumerationResult, HugeEngine
@@ -76,8 +78,9 @@ def enumerate_subgraphs(graph: Graph, query: QueryGraph | str,
                            seed)
     if config is None:
         config = EngineConfig(collect_results=collect)
-    elif collect:
-        config.collect_results = True
+    elif collect and not config.collect_results:
+        # never mutate the caller's config object
+        config = replace(config, collect_results=True)
     engine = HugeEngine(cluster, config)
     return engine.run(_as_query(query))
 

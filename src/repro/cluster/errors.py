@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "OutOfMemoryError", "OvertimeError", "PlanError"]
+__all__ = ["ReproError", "OutOfMemoryError", "OvertimeError", "PlanError",
+           "QueryCancelledError"]
 
 
 class ReproError(Exception):
@@ -33,3 +34,16 @@ class OvertimeError(ReproError):
 
 class PlanError(ReproError):
     """An execution plan is malformed or cannot be translated."""
+
+
+class QueryCancelledError(ReproError):
+    """The query's cancellation token fired (client cancel or deadline).
+
+    Raised from inside the scheduler loop at the next poll point, so a
+    cancelled run unwinds through the ordinary error path: buffers are
+    released and the metrics ledger stays balanced.
+    """
+
+    def __init__(self, reason: str = "cancelled"):
+        self.reason = reason
+        super().__init__(f"query cancelled: {reason}")

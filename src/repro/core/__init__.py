@@ -2,6 +2,7 @@
 scheduler, work stealing — the paper's primary contribution."""
 
 from .cache import CACHE_VARIANTS, CacheStats, LRBUCache, LRUCache, make_cache
+from .cancel import CancelToken, QueryCancelledError
 from .dataflow import ExtendSpec, JoinSpec, ScanSpec, Segment
 from .engine import EngineConfig, EnumerationResult, HugeEngine
 from .scheduler import SchedulerConfig, run_segment
@@ -11,6 +12,8 @@ from . import plan
 __all__ = [
     "CACHE_VARIANTS",
     "CacheStats",
+    "CancelToken",
+    "QueryCancelledError",
     "LRBUCache",
     "LRUCache",
     "make_cache",

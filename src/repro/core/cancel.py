@@ -1,0 +1,87 @@
+"""Cooperative cancellation for engine runs.
+
+The scheduler (Algorithm 5's outer loop) polls the
+:class:`CancelToken` attached to its :class:`SchedulerConfig` once per
+scheduling round — the same granularity at which it already charges the
+``sched_switch_op`` — so a long-running enumeration reacts to a client
+cancel or an expired deadline within one operator round, without any
+per-tuple overhead.
+
+Cancellation surfaces as :class:`~repro.cluster.errors.QueryCancelledError`
+propagating out of ``HugeEngine.run``: the run unwinds through the
+ordinary exception path (``try/finally`` buffer releases), so the
+simulated memory ledger stays balanced — the serving layer's memory
+oracle depends on this.
+
+Deadlines are *wall-clock* (``time.monotonic``), not simulated time: the
+simulated budgets (``CostModel.time_budget_s``) bound the modelled
+cluster, while tokens bound the real process hosting it (the serving
+layer's per-query timeout).  A custom ``clock`` can be injected for
+deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..cluster.errors import QueryCancelledError
+
+__all__ = ["CancelToken", "QueryCancelledError"]
+
+
+class CancelToken:
+    """A poll-based cancellation flag with an optional wall-clock deadline.
+
+    Thread-safe by construction: ``cancel`` only ever sets a flag, and
+    ``check`` only reads, so no lock is needed (Python attribute stores
+    are atomic).  Subclasses may override :meth:`on_poll` to observe the
+    scheduler's poll points (the serving layer's fault injector uses this
+    to crash a worker mid-run).
+    """
+
+    __slots__ = ("_cancelled", "_reason", "deadline", "_clock", "polls")
+
+    def __init__(self, deadline: float | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        #: absolute deadline on ``clock``'s timeline (``None`` = no deadline)
+        self.deadline = deadline
+        self._clock = clock
+        self._cancelled = False
+        self._reason = "cancelled"
+        #: number of times the scheduler has polled this token
+        self.polls = 0
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation; the run aborts at its next poll point."""
+        self._reason = reason
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the token has fired (explicitly or via its deadline)."""
+        if self._cancelled:
+            return True
+        if self.deadline is not None and self._clock() >= self.deadline:
+            self._reason = "deadline exceeded"
+            self._cancelled = True
+        return self._cancelled
+
+    @property
+    def reason(self) -> str:
+        """Why the token fired (meaningful once :attr:`cancelled`)."""
+        return self._reason
+
+    def on_poll(self) -> None:
+        """Hook invoked at every scheduler poll before the cancel check."""
+
+    def check(self) -> None:
+        """Raise :class:`QueryCancelledError` if cancellation was requested.
+
+        This is the scheduler's poll point; it must stay cheap on the
+        not-cancelled path.
+        """
+        self.polls += 1
+        self.on_poll()
+        if self.cancelled:
+            raise QueryCancelledError(self._reason)

@@ -27,6 +27,7 @@ from typing import Iterator, Sequence
 from ..cluster.errors import PlanError
 from ..obs.trace import ENGINE
 from .batch import Batch
+from .cancel import CancelToken
 from .dataflow import JoinSpec, ScanSpec, Segment
 from .operators import (ExecContext, ExtendOp, JoinBuffer, ScanOp,
                         SinkConsumer, join_stream)
@@ -61,6 +62,13 @@ class SchedulerConfig:
     """Inter-machine stealing triggers when the heaviest input channel
     exceeds this multiple of the lightest (see
     :func:`~repro.core.stealing.rebalance`)."""
+
+    cancellation: "CancelToken | None" = field(
+        default=None, repr=False, compare=False)
+    """Optional :class:`~repro.core.cancel.CancelToken` polled once per
+    scheduling round; when it fires the run aborts with
+    :class:`~repro.cluster.errors.QueryCancelledError` (client cancel or
+    wall-clock deadline — the serving layer's per-query timeout)."""
 
     def __post_init__(self) -> None:
         if self.stealing not in STEALING_MODES:
@@ -431,9 +439,12 @@ class _ChainRunner:
     def run(self) -> None:
         """Drive the chain to completion (the outer loop of Algorithm 5)."""
         tracer = self.ctx.tracer
+        token = self.config.cancellation
         last = len(self.extend_ops) - 1
         cur = -1  # -1 = the source operator
         while True:
+            if token is not None:
+                token.check()
             if not self._has_input(cur):
                 if cur > -1:
                     cur -= 1

@@ -54,7 +54,7 @@ class QueryGraph:
         the same label.
     """
 
-    __slots__ = ("_n", "_edges", "_adj", "_name", "_labels")
+    __slots__ = ("_n", "_edges", "_adj", "_name", "_labels", "_canon")
 
     def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]],
                  name: str | None = None,
@@ -75,6 +75,7 @@ class QueryGraph:
             adj[v].add(u)
         self._adj = tuple(frozenset(s) for s in adj)
         self._name = name
+        self._canon: tuple[int, ...] | None = None  # lazy canonical mapping
         if labels is None:
             self._labels: tuple[int | None, ...] = (None,) * num_vertices
         else:
@@ -168,6 +169,110 @@ class QueryGraph:
     def is_clique(self) -> bool:
         """Whether the pattern is a complete graph."""
         return len(self._edges) == self._n * (self._n - 1) // 2
+
+    # -- canonicalisation ----------------------------------------------------
+
+    def _canonical_mapping(self) -> tuple[int, ...]:
+        """Permutation ``mapping[v] = canonical position of v`` giving the
+        lexicographically smallest class-respecting adjacency encoding.
+
+        Vertices are first partitioned into classes by a twice-refined
+        Weisfeiler-Leman-style invariant (label, degree, sorted neighbour
+        invariants) — an isomorphism invariant, so isomorphic patterns
+        produce the same class structure.  A branch-and-bound search then
+        assigns canonical positions class by class, pruning any prefix
+        whose adjacency rows already exceed the best found; the row-prefix
+        pruning keeps highly symmetric patterns (cycles, cliques) cheap.
+        """
+        if self._canon is not None:
+            return self._canon
+        n = self._n
+        if n == 0:
+            self._canon = ()
+            return self._canon
+        # iso-invariant vertex classes: (label, degree) refined twice over
+        # sorted neighbour invariants
+        inv: list = [((lab is not None, lab if lab is not None else 0),
+                      len(self._adj[v]))
+                     for v, lab in enumerate(self._labels)]
+        for _ in range(2):
+            inv = [(inv[v], tuple(sorted(inv[w] for w in self._adj[v])))
+                   for v in range(n)]
+        ranking = {value: i for i, value in enumerate(sorted(set(inv)))}
+        cls = [ranking[inv[v]] for v in range(n)]
+        pos_class = sorted(cls)  # class of each canonical position
+
+        adj = self._adj
+        assigned: list[int] = [-1] * n  # canonical position -> vertex
+        used = [False] * n
+        rows: list[tuple[int, ...]] = []
+        best_rows: list[tuple[int, ...]] | None = None
+        best_perm: list[int] | None = None
+
+        def dfs(p: int, tight: bool) -> None:
+            # ``tight``: the current row prefix equals the best's prefix,
+            # so per-position pruning against ``best_rows`` is sound
+            nonlocal best_rows, best_perm
+            if p == n:
+                if best_rows is None or rows < best_rows:
+                    best_rows = rows.copy()
+                    best_perm = assigned.copy()
+                return
+            want = pos_class[p]
+            for v in range(n):
+                if used[v] or cls[v] != want:
+                    continue
+                row = tuple(1 if assigned[j] in adj[v] else 0
+                            for j in range(p))
+                still_tight = tight
+                if best_rows is not None and tight:
+                    if row < best_rows[p]:
+                        still_tight = False
+                    elif row > best_rows[p]:
+                        continue  # prefix already worse than best: prune
+                assigned[p] = v
+                used[v] = True
+                rows.append(row)
+                dfs(p + 1, still_tight)
+                rows.pop()
+                used[v] = False
+                assigned[p] = -1
+
+        dfs(0, True)
+        assert best_perm is not None
+        mapping = [0] * n
+        for position, v in enumerate(best_perm):
+            mapping[v] = position
+        self._canon = tuple(mapping)
+        return self._canon
+
+    def canonical_form(self) -> "tuple[QueryGraph, tuple[int, ...]]":
+        """The canonical relabelling of this pattern.
+
+        Returns ``(canon, mapping)`` where ``canon`` is an isomorphic
+        :class:`QueryGraph` in canonical vertex order and
+        ``mapping[v]`` is the canonical position of this pattern's vertex
+        ``v``.  Two patterns are isomorphic **iff** their canonical forms
+        are equal, which is what lets the serving layer's plan cache key
+        physical plans by pattern *shape* rather than vertex numbering.
+        """
+        mapping = self._canonical_mapping()
+        canon = self.relabel(dict(enumerate(mapping)),
+                             name=f"{self.name}#canon")
+        return canon, mapping
+
+    def canonical_key(self) -> str:
+        """Order-independent canonical cache key for this pattern.
+
+        Isomorphic patterns (same shape and labels, any vertex numbering)
+        share a key; non-isomorphic patterns do not.  The key is a compact
+        string so it can appear verbatim in JSON artifacts and metrics.
+        """
+        canon, _ = self.canonical_form()
+        labels = ",".join("*" if lab is None else str(lab)
+                          for lab in canon.labels)
+        edges = ";".join(f"{u}-{v}" for u, v in sorted(canon.edges))
+        return f"{canon.num_vertices}v[{labels}]{edges}"
 
     # -- transformation ------------------------------------------------------
 

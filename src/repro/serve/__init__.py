@@ -1,0 +1,43 @@
+"""``repro.serve`` — the concurrent query service.
+
+A long-running serving tier on top of :class:`~repro.core.engine.HugeEngine`:
+
+* **requests & handles** (:mod:`.request`) — priorities, deadlines,
+  tenants, streamed chunk delivery, exactly-once outcomes;
+* **admission control** (:mod:`.admission`) — Theorem-5.4-shaped memory
+  reservations against a global budget;
+* **plan cache** (:mod:`.plancache`) — Algorithm-1 plans keyed by the
+  pattern's canonical form, shared across isomorphic requests;
+* **fair scheduling** (:mod:`.queueing`) — weighted round-robin across
+  priorities, EDF within, per-tenant caps;
+* **the service** (:mod:`.service`) — the worker pool, dispatcher,
+  cancellation and crash-retry fault tolerance;
+* **load driving** (:mod:`.driver`) — seeded workloads with solo-run
+  verification;
+* **observability** (:mod:`.stats`, :mod:`.tracing`) — latency
+  percentiles and wall-clock Chrome traces.
+"""
+
+from .admission import AdmissionController, AdmissionStats, estimate_query_bytes
+from .driver import DriverReport, LoadDriver, WorkloadSpec
+from .plancache import PlanCache, PlanCacheStats
+from .queueing import PRIORITY_WEIGHTS, MultiQueue, QueueEntry
+from .request import (Priority, QueryHandle, QueryOutcome, QueryRequest,
+                      QueryStatus, ResultChunk)
+from .service import (Executor, FaultInjector, QueryService, WorkerCrashError,
+                      run_query_solo)
+from .stats import LatencyRecorder, ServiceStats, percentile
+from .tracing import ServiceTracer
+
+__all__ = [
+    "AdmissionController", "AdmissionStats", "estimate_query_bytes",
+    "DriverReport", "LoadDriver", "WorkloadSpec",
+    "PlanCache", "PlanCacheStats",
+    "PRIORITY_WEIGHTS", "MultiQueue", "QueueEntry",
+    "Priority", "QueryHandle", "QueryOutcome", "QueryRequest",
+    "QueryStatus", "ResultChunk",
+    "Executor", "FaultInjector", "QueryService", "WorkerCrashError",
+    "run_query_solo",
+    "LatencyRecorder", "ServiceStats", "percentile",
+    "ServiceTracer",
+]

@@ -1,0 +1,104 @@
+"""Canonical-form plan cache.
+
+Algorithm 1 (the optimiser) is pure: its output depends only on the
+pattern's *shape*, the data graph's statistics (through the cardinality
+estimator) and the cluster size.  The service therefore plans each
+pattern's **canonical form** (:meth:`QueryGraph.canonical_form`) and
+caches the resulting :class:`~repro.core.plan.physical.ExecutionPlan`
+keyed by::
+
+    (canonical pattern key, dataset handle, |V_G|, |E_G|, num_machines)
+
+so two isomorphic patterns — however their vertices are numbered — hit
+the same entry, and a dataset swap or cluster resize misses as it must.
+Plans are immutable at execution time (``translate`` builds fresh
+operator state per run), so one cached plan can back many concurrent
+executions.
+
+The cache is a lock-guarded LRU; hit/miss/eviction counters feed the
+service metrics snapshot (the paper-style "cache hit rate" of the
+serving tier).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..core.plan.physical import ExecutionPlan
+from ..graph.graph import Graph
+
+__all__ = ["PlanCacheStats", "PlanCache"]
+
+
+class PlanCacheStats:
+    """Thread-safe hit/miss/eviction counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.inserts = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "inserts": self.inserts,
+                "hit_rate": self.hit_rate}
+
+
+class PlanCache:
+    """LRU cache of canonical-form execution plans."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = PlanCacheStats()
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
+
+    @staticmethod
+    def key(canonical_key: str, dataset: str, graph: Graph,
+            num_machines: int) -> tuple:
+        """Cache key: canonical pattern × graph stats × cluster shape."""
+        return (canonical_key, dataset, graph.num_vertices, graph.num_edges,
+                num_machines)
+
+    def get(self, key: tuple) -> ExecutionPlan | None:
+        """Look up a plan, refreshing its recency."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                with self.stats._lock:
+                    self.stats.misses += 1
+                return None
+            self._plans.move_to_end(key)
+        with self.stats._lock:
+            self.stats.hits += 1
+        return plan
+
+    def put(self, key: tuple, plan: ExecutionPlan) -> None:
+        """Insert a plan, evicting the least recently used beyond capacity."""
+        with self._lock:
+            if key not in self._plans and len(self._plans) >= self.capacity:
+                self._plans.popitem(last=False)
+                with self.stats._lock:
+                    self.stats.evictions += 1
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+        with self.stats._lock:
+            self.stats.inserts += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()

@@ -1,0 +1,147 @@
+"""Fair multi-queue request scheduling.
+
+Queued requests live in one queue per :class:`Priority`.  Dispatch order
+combines three policies:
+
+* **weighted round-robin across priorities** — HIGH/NORMAL/LOW drain in
+  a 4:2:1 credit cycle, so low-priority work keeps flowing under a
+  sustained high-priority load (no starvation) while urgent work still
+  dominates;
+* **earliest-deadline-first within a priority** — entries carry an
+  absolute wall-clock deadline (``inf`` when none); ties break FIFO by
+  submission sequence;
+* **an eligibility predicate from the dispatcher** — per-tenant in-flight
+  caps, the admission controller's free budget, and retry backoff
+  (``not_before``) are all dispatch-time conditions, so the queue skips
+  over entries the dispatcher cannot place *right now* without losing
+  their position.
+
+The structure is lock-free from the queue's perspective: the owning
+dispatcher thread is the only mutator; ``depths()`` reads are safe for
+metrics snapshots.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterable
+
+from .request import Priority, QueryHandle
+
+__all__ = ["QueueEntry", "MultiQueue", "PRIORITY_WEIGHTS"]
+
+#: weighted-round-robin credits per priority class
+PRIORITY_WEIGHTS: dict[Priority, int] = {
+    Priority.HIGH: 4,
+    Priority.NORMAL: 2,
+    Priority.LOW: 1,
+}
+
+
+class QueueEntry:
+    """One queued request plus its dispatch bookkeeping."""
+
+    __slots__ = ("handle", "estimate_bytes", "submit_t", "abs_deadline",
+                 "not_before", "attempts", "cancel_reason", "pattern",
+                 "graph", "token", "dispatch_t")
+
+    def __init__(self, handle: QueryHandle, estimate_bytes: float,
+                 submit_t: float, abs_deadline: float):
+        self.handle = handle
+        self.estimate_bytes = estimate_bytes
+        self.submit_t = submit_t
+        #: absolute deadline on the service clock (``inf`` = none)
+        self.abs_deadline = abs_deadline
+        #: retry backoff gate: not dispatchable before this time
+        self.not_before = submit_t
+        #: execution attempts consumed so far
+        self.attempts = 0
+        #: set by QueryHandle.cancel while queued
+        self.cancel_reason: str | None = None
+        #: resolved at submission by the service
+        self.pattern = None
+        self.graph = None
+        #: per-attempt cancellation token (set at dispatch)
+        self.token = None
+        #: service-clock time of the latest dispatch
+        self.dispatch_t = 0.0
+
+    @property
+    def sort_key(self) -> tuple[float, int]:
+        """EDF order with FIFO tie-break."""
+        return (self.abs_deadline, self.handle.request.seq)
+
+
+class MultiQueue:
+    """Priority × deadline × eligibility dispatch queue."""
+
+    def __init__(self, weights: dict[Priority, int] | None = None):
+        self._queues: dict[Priority, list[QueueEntry]] = {
+            p: [] for p in Priority}
+        self._keys: dict[Priority, list[tuple[float, int]]] = {
+            p: [] for p in Priority}
+        self.weights = dict(weights or PRIORITY_WEIGHTS)
+        self._credits = dict(self.weights)
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depths(self) -> dict[str, int]:
+        """Queue depth per priority (metrics snapshot)."""
+        return {p.name.lower(): len(self._queues[p]) for p in Priority}
+
+    def push(self, entry: QueueEntry) -> None:
+        """Insert in EDF position within the entry's priority queue."""
+        p = entry.handle.request.priority
+        i = bisect.bisect(self._keys[p], entry.sort_key)
+        self._keys[p].insert(i, entry.sort_key)
+        self._queues[p].insert(i, entry)
+
+    def _remove_at(self, priority: Priority, index: int) -> QueueEntry:
+        self._keys[priority].pop(index)
+        return self._queues[priority].pop(index)
+
+    def _priority_cycle(self) -> Iterable[Priority]:
+        """Priorities in weighted-round-robin order: classes with credit
+        left first (most credit wins, urgency breaks ties), exhausted
+        classes last so nothing blocks when the credited ones are empty."""
+        return sorted(Priority,
+                      key=lambda p: (-self._credits[p], p.value))
+
+    def pop_eligible(self, now: float,
+                     eligible: Callable[[QueueEntry], bool]) -> QueueEntry | None:
+        """Remove and return the next dispatchable entry, or ``None``.
+
+        Scans priorities in WRR order and entries in EDF order, skipping
+        entries still in retry backoff (``not_before > now``) or failing
+        the dispatcher's ``eligible`` predicate (tenant caps, budget fit).
+        """
+        for p in self._priority_cycle():
+            entries = self._queues[p]
+            for i, entry in enumerate(entries):
+                if entry.not_before > now:
+                    continue
+                if not eligible(entry):
+                    continue
+                self._credits[p] -= 1
+                if all(c <= 0 for c in self._credits.values()):
+                    self._credits = dict(self.weights)
+                return self._remove_at(p, i)
+        return None
+
+    def pop_where(self, predicate: Callable[[QueueEntry], bool]) -> list[QueueEntry]:
+        """Remove and return every queued entry matching ``predicate``
+        (deadline expiry sweeps, shutdown drains, client cancels)."""
+        removed: list[QueueEntry] = []
+        for p in Priority:
+            entries = self._queues[p]
+            keep_e, keep_k = [], []
+            for entry, key in zip(entries, self._keys[p]):
+                if predicate(entry):
+                    removed.append(entry)
+                else:
+                    keep_e.append(entry)
+                    keep_k.append(key)
+            self._queues[p] = keep_e
+            self._keys[p] = keep_k
+        return removed

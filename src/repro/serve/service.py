@@ -1,0 +1,757 @@
+"""The concurrent query service: worker pool, dispatch, fault tolerance.
+
+``QueryService`` multiplexes many :class:`QueryRequest`\\ s over a pool of
+real worker threads, each driving its own simulated cluster +
+:class:`~repro.core.engine.HugeEngine` (clusters are never shared across
+threads — the metrics ledger is per-run mutable state).  The dispatcher
+thread owns the :class:`MultiQueue` and the admission ledger:
+
+1. **submit** — the pattern is resolved and canonicalised, its
+   Theorem-5.4 reservation estimated; a request whose bound exceeds the
+   whole budget is rejected immediately, otherwise it queues.
+2. **dispatch** — the fair scheduler picks the next entry whose
+   reservation fits the free budget and whose tenant is under its
+   in-flight cap; the reservation is taken and the entry handed to the
+   worker pool.
+3. **execute** — the worker looks the canonical plan up in the shared
+   :class:`PlanCache` (planning only on miss), runs the engine with a
+   per-attempt :class:`CancelToken` (deadline + client cancel), remaps
+   collected matches back to the request's vertex order, and streams
+   bounded chunks if requested.
+4. **fault tolerance** — an injected :class:`WorkerCrashError` kills the
+   worker thread mid-run; the dispatcher detects the dead thread,
+   releases the crashed query's reservation, respawns a fresh worker and
+   requeues the query with exponential backoff.  The handle's
+   exactly-once terminal transition guarantees no result is lost or
+   duplicated across retries.
+
+Determinism: a query executed through the service produces **the same
+count and simulated metrics** as the same request executed solo
+(:func:`run_query_solo`) — concurrency multiplexes isolated simulated
+clusters, it never changes what any of them computes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import replace
+from queue import Empty, Queue
+from typing import Mapping
+
+from ..cluster.cluster import Cluster
+from ..cluster.cost import CostModel
+from ..cluster.errors import QueryCancelledError, ReproError
+from ..core.cancel import CancelToken
+from ..core.engine import EngineConfig, EnumerationResult, HugeEngine
+from ..graph.graph import Graph
+from ..query.pattern import QueryGraph, get_query
+from .admission import AdmissionController, estimate_query_bytes
+from .plancache import PlanCache
+from .queueing import MultiQueue, QueueEntry
+from .request import (Priority, QueryHandle, QueryOutcome, QueryRequest,
+                      QueryStatus, ResultChunk)
+from .stats import LatencyRecorder, ServiceStats
+from .tracing import ENGINE, ServiceTracer
+
+__all__ = ["WorkerCrashError", "FaultInjector", "Executor", "QueryService",
+           "run_query_solo"]
+
+
+class WorkerCrashError(RuntimeError):
+    """An injected worker crash (kills the worker thread mid-query)."""
+
+
+class FaultInjector:
+    """Deterministic worker-crash injection for tests, CI and benchmarks.
+
+    Crashes are scheduled per ``(request seq, attempt)`` and fire through
+    the engine's cancellation-token poll point, i.e. genuinely *mid-run*
+    inside the scheduler loop — after some batches have been processed,
+    before the query completes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._planned: dict[tuple[int, int], int] = {}
+        self.injected = 0
+
+    def crash(self, request_seq: int, attempt: int = 1,
+              after_polls: int = 3) -> None:
+        """Schedule a crash for the given attempt of a request; the worker
+        dies after ``after_polls`` scheduler rounds."""
+        if after_polls < 1:
+            raise ValueError("after_polls must be >= 1")
+        with self._lock:
+            self._planned[(request_seq, attempt)] = after_polls
+
+    def arm(self, request_seq: int, attempt: int) -> int | None:
+        """One-shot: pop the scheduled crash for this attempt, if any."""
+        with self._lock:
+            return self._planned.pop((request_seq, attempt), None)
+
+    def fired(self) -> None:
+        with self._lock:
+            self.injected += 1
+
+
+class _AttemptToken(CancelToken):
+    """Per-attempt cancellation token, optionally armed to crash."""
+
+    __slots__ = ("_crash_after", "_injector")
+
+    def __init__(self, deadline: float | None,
+                 crash_after: int | None = None,
+                 injector: FaultInjector | None = None):
+        super().__init__(deadline=deadline)
+        self._crash_after = crash_after
+        self._injector = injector
+
+    def on_poll(self) -> None:
+        if self._crash_after is not None and self.polls >= self._crash_after:
+            self._crash_after = None
+            if self._injector is not None:
+                self._injector.fired()
+            raise WorkerCrashError("injected worker crash")
+
+
+class Executor:
+    """Executes requests on per-thread cached clusters.
+
+    One ``Executor`` per worker thread (plus one per solo run): simulated
+    clusters are mutable during a run and must never be shared, while the
+    immutable data graphs and cached plans are shared freely.
+    """
+
+    def __init__(self, plan_cache: PlanCache | None = None,
+                 default_config: EngineConfig | None = None,
+                 cost: CostModel | None = None, max_clusters: int = 4):
+        self.plan_cache = plan_cache
+        self.default_config = default_config
+        self.cost = cost
+        self._clusters: OrderedDict[tuple, Cluster] = OrderedDict()
+        self._max_clusters = max_clusters
+
+    def _cluster(self, graph: Graph, req: QueryRequest) -> Cluster:
+        key = (req.dataset, req.num_machines, req.workers_per_machine,
+               req.partition_seed)
+        cluster = self._clusters.get(key)
+        if cluster is None:
+            cluster = Cluster(graph, num_machines=req.num_machines,
+                              workers_per_machine=req.workers_per_machine,
+                              cost=self.cost, seed=req.partition_seed)
+            if len(self._clusters) >= self._max_clusters:
+                self._clusters.popitem(last=False)
+            self._clusters[key] = cluster
+        else:
+            self._clusters.move_to_end(key)
+        return cluster
+
+    def _config(self, req: QueryRequest,
+                token: CancelToken | None) -> EngineConfig:
+        base = req.config or self.default_config or EngineConfig()
+        # always a copy: the caller's config object is never mutated and
+        # the cancellation token is strictly per-attempt
+        return replace(base, collect_results=req.collect, cancellation=token)
+
+    def execute(self, req: QueryRequest, graph: Graph,
+                pattern: QueryGraph,
+                token: CancelToken | None = None) -> tuple[EnumerationResult, dict]:
+        """Run one attempt; returns the engine result plus execution info
+        (canonical key, plan-cache hit, phase timings)."""
+        canon, mapping = pattern.canonical_form()
+        cluster = self._cluster(graph, req)
+        engine = HugeEngine(cluster, self._config(req, token))
+
+        t0 = time.perf_counter()
+        plan = None
+        cache_hit = False
+        key = None
+        if self.plan_cache is not None:
+            key = PlanCache.key(pattern.canonical_key(), req.dataset, graph,
+                                req.num_machines)
+            plan = self.plan_cache.get(key)
+            cache_hit = plan is not None
+        if plan is None:
+            plan = engine.plan(canon)
+            if self.plan_cache is not None and key is not None:
+                self.plan_cache.put(key, plan)
+        t1 = time.perf_counter()
+
+        result = engine.run(plan=plan)
+        t2 = time.perf_counter()
+
+        if result.matches is not None and mapping != tuple(
+                range(pattern.num_vertices)):
+            # cached plans run the canonical pattern; map matches back to
+            # the request's vertex numbering
+            result.matches = [
+                tuple(m[mapping[v]] for v in range(pattern.num_vertices))
+                for m in result.matches
+            ]
+        info = {
+            "canonical_key": key[0] if key is not None
+            else pattern.canonical_key(),
+            "plan_cache_hit": cache_hit,
+            "plan_s": t1 - t0,
+            "execute_s": t2 - t1,
+        }
+        return result, info
+
+
+def run_query_solo(graph: Graph, request: QueryRequest,
+                   default_config: EngineConfig | None = None,
+                   cost: CostModel | None = None,
+                   plan_cache: PlanCache | None = None) -> QueryOutcome:
+    """Execute one request alone, through the service's exact execution
+    path (canonicalisation included) but with no pool, queue or budget.
+
+    This is the oracle baseline: a request served under concurrency must
+    produce a bit-identical count and simulated report to its solo run.
+    """
+    pattern = request.pattern if isinstance(request.pattern, QueryGraph) \
+        else get_query(request.pattern)
+    executor = Executor(plan_cache=plan_cache, default_config=default_config,
+                        cost=cost)
+    t0 = time.perf_counter()
+    result, info = executor.execute(request, graph, pattern)
+    return QueryOutcome(
+        status=QueryStatus.COMPLETED, count=result.count, result=result,
+        canonical_key=info["canonical_key"],
+        plan_cache_hit=info["plan_cache_hit"],
+        plan_s=info["plan_s"], execute_s=info["execute_s"],
+        total_s=time.perf_counter() - t0)
+
+
+_SHUTDOWN = object()
+
+
+class _Worker(threading.Thread):
+    """One pool worker; dies on an injected crash (no cleanup — the
+    dispatcher's liveness check is the detection path)."""
+
+    def __init__(self, service: "QueryService", wid: int):
+        super().__init__(name=f"repro-serve-w{wid}", daemon=True)
+        self.service = service
+        self.wid = wid
+        self.current: QueueEntry | None = None
+        self.crashed = False
+        self.executor = Executor(
+            plan_cache=service.plan_cache,
+            default_config=service.default_config,
+            cost=service.cost)
+
+    def run(self) -> None:
+        svc = self.service
+        while True:
+            try:
+                entry = svc._ready.get(timeout=0.2)
+            except Empty:
+                if svc._abort.is_set():
+                    return
+                continue
+            if entry is _SHUTDOWN:
+                return
+            self.current = entry
+            try:
+                svc._run_entry(self, entry)
+            except WorkerCrashError:
+                # simulated hard death: leave ``current`` set and exit
+                # without any cleanup; the dispatcher's liveness sweep
+                # detects the corpse and recovers the query
+                self.crashed = True
+                return
+            self.current = None
+
+
+class QueryService:
+    """A long-running, concurrent subgraph-enumeration service."""
+
+    def __init__(self, datasets: Mapping[str, Graph] | None = None,
+                 num_workers: int = 4,
+                 memory_budget_bytes: float = float("inf"),
+                 plan_cache_capacity: int = 128,
+                 default_config: EngineConfig | None = None,
+                 cost: CostModel | None = None,
+                 tenant_max_inflight: int | None = None,
+                 max_retries: int = 3,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 2.0,
+                 injector: FaultInjector | None = None,
+                 trace: bool = False,
+                 poll_interval_s: float = 0.005):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        self.default_config = default_config
+        self.cost = cost
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.tenant_max_inflight = tenant_max_inflight
+        self.injector = injector
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        self.admission = AdmissionController(memory_budget_bytes)
+        self.tracer: ServiceTracer | None = (
+            ServiceTracer(num_workers) if trace else None)
+
+        self._graphs: dict[str, Graph] = dict(datasets or {})
+        self._queue = MultiQueue()
+        self._ready: Queue = Queue()
+        self._cond = threading.Condition()
+        self._abort = threading.Event()
+        self._stop_requested = False
+        self._drain_on_stop = True
+        self._started = False
+        self._stopped = False
+        self._start_t = 0.0
+
+        self._workers: list[_Worker] = []
+        self._dispatcher: threading.Thread | None = None
+        self._inflight: dict[int, QueueEntry] = {}
+        self._tenant_inflight: dict[str, int] = {}
+        self._entries: dict[int, QueueEntry] = {}  # seq -> live entry
+
+        self._counters = {
+            "submitted": 0, "completed": 0, "cancelled": 0, "failed": 0,
+            "rejected": 0, "retries": 0, "worker_crashes": 0,
+            "delivery_violations": 0,
+        }
+        self._latency = LatencyRecorder()
+        self._queue_wait = LatencyRecorder()
+        self._execute = LatencyRecorder()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def register_dataset(self, name: str, graph: Graph) -> None:
+        """Register (or replace) a data graph under ``name``."""
+        self._graphs[name] = graph
+
+    def start(self) -> "QueryService":
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self._start_t = time.monotonic()
+        for wid in range(self.num_workers):
+            worker = _Worker(self, wid)
+            self._workers.append(worker)
+            worker.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True)
+        self._dispatcher.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Shut the service down.
+
+        ``drain=True`` finishes everything already submitted first;
+        ``drain=False`` cancels queued and running queries immediately.
+        Either way every submitted handle reaches a terminal state before
+        the pool is torn down (clean shutdown is part of the contract).
+        """
+        if not self._started or self._stopped:
+            return
+        with self._cond:
+            self._stop_requested = True
+            self._drain_on_stop = drain
+            self._cond.notify_all()
+        assert self._dispatcher is not None
+        self._dispatcher.join(timeout)
+        self._abort.set()
+        for worker in self._workers:
+            self._ready.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._stopped = True
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop(drain=all(e is None for e in exc))
+
+    # -- client API ------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.monotonic()
+
+    def estimate_request_bytes(self, request: QueryRequest) -> float:
+        """The admission reservation this request would take (for sizing
+        budgets in tests/benchmarks)."""
+        graph = self._resolve_graph(request.dataset)
+        pattern = self._resolve_pattern(request)
+        base = request.config or self.default_config or EngineConfig()
+        return estimate_query_bytes(pattern.num_vertices, graph, base,
+                                    request.num_machines,
+                                    self.cost or CostModel())
+
+    def _resolve_graph(self, dataset: str) -> Graph:
+        try:
+            return self._graphs[dataset]
+        except KeyError:
+            raise KeyError(
+                f"unknown dataset {dataset!r}; registered: "
+                f"{sorted(self._graphs)}") from None
+
+    @staticmethod
+    def _resolve_pattern(request: QueryRequest) -> QueryGraph:
+        if isinstance(request.pattern, QueryGraph):
+            return request.pattern
+        return get_query(request.pattern)
+
+    def submit(self, request: QueryRequest) -> QueryHandle:
+        """Admit a request into the service; returns its handle.
+
+        Raises on malformed requests (unknown dataset/pattern); admission
+        *rejection* (bound exceeds the whole budget) is delivered through
+        the handle as a ``REJECTED`` outcome, not an exception.
+        """
+        if not self._started or self._stop_requested:
+            raise RuntimeError("service is not accepting requests")
+        graph = self._resolve_graph(request.dataset)
+        pattern = self._resolve_pattern(request)
+        request.priority = Priority(request.priority)
+        handle = QueryHandle(request, service=self)
+        now = self._now()
+        estimate = estimate_query_bytes(
+            pattern.num_vertices, graph,
+            request.config or self.default_config or EngineConfig(),
+            request.num_machines, self.cost or CostModel())
+        deadline = (now + request.deadline_s
+                    if request.deadline_s is not None else float("inf"))
+        entry = QueueEntry(handle, estimate, now, deadline)
+        entry.pattern = pattern
+        entry.graph = graph
+
+        with self._cond:
+            self._counters["submitted"] += 1
+            if not self.admission.admissible(estimate):
+                self.admission.stats.rejected += 1
+                self._counters["rejected"] += 1
+                handle._finish(QueryOutcome(
+                    status=QueryStatus.REJECTED,
+                    error=(f"memory bound {estimate:.3g}B exceeds the "
+                           f"service budget "
+                           f"{self.admission.budget_bytes:.3g}B"),
+                    canonical_key=pattern.canonical_key(), attempts=0))
+                if self.tracer:
+                    self.tracer.instant("admission reject", ENGINE,
+                                        {"request": request.label,
+                                         "bytes": estimate})
+                return handle
+            handle._set_status(QueryStatus.QUEUED)
+            self._entries[request.seq] = entry
+            self._queue.push(entry)
+            if self.tracer:
+                self.tracer.counter("queue depth", ENGINE,
+                                    self._queue.depths())
+            self._cond.notify_all()
+        return handle
+
+    def _cancel(self, handle: QueryHandle, reason: str) -> None:
+        """Client-side cancel (QueryHandle.cancel routes here)."""
+        with self._cond:
+            entry = self._entries.get(handle.request.seq)
+            if entry is None:
+                return
+            if handle.request.seq in self._inflight:
+                if entry.token is not None:
+                    entry.token.cancel(reason)
+            else:
+                entry.cancel_reason = reason
+            self._cond.notify_all()
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        poll = 0.005
+        while True:
+            with self._cond:
+                self._cond.wait(timeout=poll)
+                stop = self._stop_requested
+                drain = self._drain_on_stop
+            self._reap_crashed_workers()
+            self._sweep_queue()
+            if stop and not drain:
+                self._cancel_everything("service shutdown")
+            self._fill_workers()
+            if stop:
+                with self._cond:
+                    idle = not self._inflight and not len(self._queue)
+                if idle and (not drain or self._ready.empty()):
+                    return
+
+    def _tenant_ok(self, entry: QueueEntry) -> bool:
+        if self.tenant_max_inflight is None:
+            return True
+        used = self._tenant_inflight.get(entry.handle.request.tenant, 0)
+        return used < self.tenant_max_inflight
+
+    def _fill_workers(self) -> None:
+        while True:
+            with self._cond:
+                if len(self._inflight) >= self.num_workers:
+                    return
+                now = self._now()
+                entry = self._queue.pop_eligible(
+                    now, lambda e: (self._tenant_ok(e)
+                                    and self.admission.fits_now(
+                                        e.estimate_bytes)))
+                if entry is None:
+                    return
+                ok = self.admission.try_reserve(entry.estimate_bytes)
+                assert ok  # single dispatcher; workers only release
+                entry.attempts += 1
+                entry.dispatch_t = now
+                req = entry.handle.request
+                crash_after = (self.injector.arm(req.seq, entry.attempts)
+                               if self.injector else None)
+                deadline = (entry.abs_deadline
+                            if entry.abs_deadline != float("inf") else None)
+                entry.token = _AttemptToken(deadline, crash_after,
+                                            self.injector)
+                self._inflight[req.seq] = entry
+                tenant = req.tenant
+                self._tenant_inflight[tenant] = \
+                    self._tenant_inflight.get(tenant, 0) + 1
+            if self.tracer:
+                self.tracer.span(
+                    f"queue {req.label}", ENGINE,
+                    entry.submit_t - self._start_t, now - self._start_t,
+                    {"priority": req.priority.name, "tenant": tenant,
+                     "attempt": entry.attempts})
+                self.tracer.counter("queue depth", ENGINE,
+                                    self._queue.depths())
+                self.tracer.counter(
+                    "reserved MB", ENGINE,
+                    {"reserved": self.admission.reserved_bytes / 1e6})
+            self._ready.put(entry)
+
+    def _sweep_queue(self) -> None:
+        """Cancel queued entries that expired or were client-cancelled."""
+        now = self._now()
+        with self._cond:
+            expired = self._queue.pop_where(
+                lambda e: e.abs_deadline <= now or e.cancel_reason is not None)
+        for entry in expired:
+            reason = entry.cancel_reason or "deadline exceeded"
+            self._finish_entry(entry, QueryOutcome(
+                status=QueryStatus.CANCELLED, error=reason,
+                attempts=entry.attempts,
+                queue_wait_s=now - entry.submit_t,
+                total_s=now - entry.submit_t), reserved=False)
+            if self.tracer:
+                self.tracer.instant("cancel", ENGINE,
+                                    {"request": entry.handle.request.label,
+                                     "reason": reason})
+
+    def _cancel_everything(self, reason: str) -> None:
+        with self._cond:
+            for entry in self._inflight.values():
+                if entry.token is not None:
+                    entry.token.cancel(reason)
+            for entry in list(self._entries.values()):
+                if entry.handle.request.seq not in self._inflight:
+                    entry.cancel_reason = reason
+
+    def _reap_crashed_workers(self) -> None:
+        """Detect dead workers, respawn them, retry their queries."""
+        for i, worker in enumerate(self._workers):
+            if worker.is_alive():
+                continue
+            entry = worker.current
+            if entry is None and not worker.crashed:
+                continue  # normal shutdown exit
+            # respawn first so capacity is restored even if retry fails
+            fresh = _Worker(self, worker.wid)
+            self._workers[i] = fresh
+            fresh.start()
+            with self._cond:
+                self._counters["worker_crashes"] += 1
+            if entry is not None:
+                self._retry_after_crash(entry)
+
+    def _retry_after_crash(self, entry: QueueEntry) -> None:
+        req = entry.handle.request
+        now = self._now()
+        with self._cond:
+            self._inflight.pop(req.seq, None)
+            tenant = req.tenant
+            if self._tenant_inflight.get(tenant, 0) > 0:
+                self._tenant_inflight[tenant] -= 1
+        self.admission.release(entry.estimate_bytes)
+        if self.tracer:
+            self.tracer.instant("worker crash", ENGINE,
+                                {"request": req.label,
+                                 "attempt": entry.attempts})
+        if entry.attempts > self.max_retries:
+            self._finish_entry(entry, QueryOutcome(
+                status=QueryStatus.FAILED,
+                error=f"worker crashed on all {entry.attempts} attempts",
+                attempts=entry.attempts, total_s=now - entry.submit_t),
+                reserved=False)
+            return
+        backoff = min(self.backoff_cap_s,
+                      self.backoff_base_s * (2 ** (entry.attempts - 1)))
+        entry.not_before = now + backoff
+        entry.token = None
+        entry.handle._set_status(QueryStatus.QUEUED)
+        with self._cond:
+            self._counters["retries"] += 1
+            self._queue.push(entry)
+            self._cond.notify_all()
+        if self.tracer:
+            self.tracer.instant("retry scheduled", ENGINE,
+                                {"request": req.label,
+                                 "backoff_s": backoff,
+                                 "next_attempt": entry.attempts + 1})
+
+    # -- worker side -----------------------------------------------------------
+
+    def _run_entry(self, worker: _Worker, entry: QueueEntry) -> None:
+        """Execute one dispatched entry on ``worker`` (its thread).
+
+        ``WorkerCrashError`` deliberately propagates — the caller treats
+        it as thread death.
+        """
+        req = entry.handle.request
+        entry.handle._set_status(QueryStatus.RUNNING)
+        t_run0 = self._now()
+        tr = self.tracer
+        tw0 = tr.now() if tr else 0.0
+        try:
+            result, info = worker.executor.execute(
+                req, entry.graph, entry.pattern, token=entry.token)
+        except WorkerCrashError:
+            raise
+        except QueryCancelledError as exc:
+            now = self._now()
+            self._finish_entry(entry, QueryOutcome(
+                status=QueryStatus.CANCELLED, error=exc.reason,
+                attempts=entry.attempts,
+                queue_wait_s=entry.dispatch_t - entry.submit_t,
+                execute_s=now - t_run0, total_s=now - entry.submit_t))
+            if tr:
+                tr.span(f"execute {req.label}", worker.wid, tw0, tr.now(),
+                        {"outcome": "cancelled", "reason": exc.reason})
+            return
+        except (ReproError, Exception) as exc:  # noqa: BLE001 - worker boundary
+            now = self._now()
+            self._finish_entry(entry, QueryOutcome(
+                status=QueryStatus.FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=entry.attempts,
+                queue_wait_s=entry.dispatch_t - entry.submit_t,
+                execute_s=now - t_run0, total_s=now - entry.submit_t))
+            if tr:
+                tr.span(f"execute {req.label}", worker.wid, tw0, tr.now(),
+                        {"outcome": "failed", "error": str(exc)})
+            return
+
+        if tr:
+            t_exec_end = tr.now()
+            tr.span(f"plan {req.label}", worker.wid, tw0,
+                    tw0 + info["plan_s"],
+                    {"cache_hit": info["plan_cache_hit"],
+                     "key": info["canonical_key"]})
+            tr.span(f"execute {req.label}", worker.wid,
+                    tw0 + info["plan_s"], t_exec_end,
+                    {"count": result.count,
+                     "sim_time_s": result.report.total_time_s,
+                     "attempt": entry.attempts})
+
+        streamed = 0
+        if req.stream:
+            ts0 = tr.now() if tr else 0.0
+            streamed = self._stream_result(entry, result)
+            if tr:
+                tr.span(f"stream {req.label}", worker.wid, ts0, tr.now(),
+                        {"chunks": streamed})
+        now = self._now()
+        self._finish_entry(entry, QueryOutcome(
+            status=QueryStatus.COMPLETED, count=result.count, result=result,
+            attempts=entry.attempts,
+            plan_cache_hit=info["plan_cache_hit"],
+            canonical_key=info["canonical_key"],
+            queue_wait_s=entry.dispatch_t - entry.submit_t,
+            plan_s=info["plan_s"], execute_s=info["execute_s"],
+            total_s=now - entry.submit_t))
+
+    def _stream_result(self, entry: QueueEntry,
+                       result: EnumerationResult) -> int:
+        """Deliver collected matches as bounded chunks; returns #chunks."""
+        req = entry.handle.request
+        matches = result.matches or []
+        result.matches = None  # delivered via the stream, not the outcome
+        size = req.chunk_size
+        chunks = [matches[i:i + size] for i in range(0, len(matches), size)] \
+            or [[]]
+        for seq, rows in enumerate(chunks):
+            chunk = ResultChunk(seq=seq, rows=rows,
+                                last=seq == len(chunks) - 1)
+            if not entry.handle._push_chunk(chunk, abort=self._abort):
+                break
+        return len(chunks)
+
+    def _finish_entry(self, entry: QueueEntry, outcome: QueryOutcome,
+                      reserved: bool = True) -> None:
+        """Terminal bookkeeping: budget release, counters, the handle's
+        exactly-once delivery, dispatcher wake-up."""
+        req = entry.handle.request
+        delivered = entry.handle._finish(outcome)
+        if req.stream and outcome.status != QueryStatus.COMPLETED:
+            entry.handle._push_chunk(None, abort=self._abort)
+        with self._cond:
+            self._entries.pop(req.seq, None)
+            was_inflight = self._inflight.pop(req.seq, None) is not None
+            if was_inflight:
+                tenant = req.tenant
+                if self._tenant_inflight.get(tenant, 0) > 0:
+                    self._tenant_inflight[tenant] -= 1
+            if not delivered:
+                self._counters["delivery_violations"] += 1
+            else:
+                key = {QueryStatus.COMPLETED: "completed",
+                       QueryStatus.CANCELLED: "cancelled",
+                       QueryStatus.FAILED: "failed",
+                       QueryStatus.REJECTED: "rejected"}[outcome.status]
+                self._counters[key] += 1
+            self._cond.notify_all()
+        if was_inflight and reserved:
+            self.admission.release(entry.estimate_bytes)
+        if delivered and outcome.status == QueryStatus.COMPLETED:
+            self._latency.add(outcome.total_s)
+            self._queue_wait.add(outcome.queue_wait_s)
+            self._execute.add(outcome.execute_s)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A point-in-time service metrics snapshot."""
+        with self._cond:
+            counters = dict(self._counters)
+            depth = self._queue.depths()
+            inflight = len(self._inflight)
+        return ServiceStats(
+            submitted=counters["submitted"],
+            completed=counters["completed"],
+            cancelled=counters["cancelled"],
+            failed=counters["failed"],
+            rejected=counters["rejected"],
+            retries=counters["retries"],
+            worker_crashes=counters["worker_crashes"],
+            delivery_violations=counters["delivery_violations"],
+            inflight=inflight,
+            queue_depth=depth,
+            reserved_bytes=self.admission.reserved_bytes,
+            budget_bytes=self.admission.budget_bytes,
+            admission=self.admission.stats.as_dict(),
+            plan_cache=self.plan_cache.stats.as_dict(),
+            latency=self._latency.snapshot(),
+            queue_wait=self._queue_wait.snapshot(),
+            execute=self._execute.snapshot(),
+            uptime_s=(time.monotonic() - self._start_t
+                      if self._started else 0.0),
+        )

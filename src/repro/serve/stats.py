@@ -1,0 +1,120 @@
+"""Service-level metrics: counters, latency recorders, snapshots.
+
+The serving tier reports wall-clock observables — queue depth, admission
+counters, plan-cache hit rate, and latency distributions (p50/p95/p99)
+for queue wait, execution, and end-to-end latency — alongside the
+simulated per-query metrics the engine already produces.  Snapshots are
+plain dataclasses with ``as_dict`` so the CLI, the load driver and
+``bench_serving.py`` all serialise the same shape.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["percentile", "LatencyRecorder", "ServiceStats"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    ``values`` must be sorted ascending; empty input gives 0.0.
+    """
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return values[0]
+    rank = (q / 100.0) * (len(values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(values) - 1)
+    frac = rank - lo
+    return values[lo] * (1.0 - frac) + values[hi] * frac
+
+
+class LatencyRecorder:
+    """Bounded reservoir of latency samples with percentile snapshots."""
+
+    def __init__(self, max_samples: int = 10_000):
+        self._lock = threading.Lock()
+        self._samples: list[float] = []
+        self._max = max_samples
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if len(self._samples) < self._max:
+                self._samples.append(seconds)
+            else:
+                # deterministic decimating reservoir: overwrite round-robin
+                self._samples[self.count % self._max] = seconds
+
+    def snapshot(self) -> dict:
+        """``{count, mean_s, p50_s, p95_s, p99_s, max_s}``."""
+        with self._lock:
+            ordered = sorted(self._samples)
+            count, total = self.count, self.total
+        return {
+            "count": count,
+            "mean_s": total / count if count else 0.0,
+            "p50_s": percentile(ordered, 50.0),
+            "p95_s": percentile(ordered, 95.0),
+            "p99_s": percentile(ordered, 99.0),
+            "max_s": ordered[-1] if ordered else 0.0,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """One point-in-time snapshot of the service (``QueryService.stats``)."""
+
+    submitted: int = 0
+    completed: int = 0
+    cancelled: int = 0
+    failed: int = 0
+    rejected: int = 0
+    retries: int = 0
+    worker_crashes: int = 0
+    delivery_violations: int = 0
+    inflight: int = 0
+    queue_depth: dict = field(default_factory=dict)
+    reserved_bytes: float = 0.0
+    budget_bytes: float = float("inf")
+    admission: dict = field(default_factory=dict)
+    plan_cache: dict = field(default_factory=dict)
+    latency: dict = field(default_factory=dict)
+    queue_wait: dict = field(default_factory=dict)
+    execute: dict = field(default_factory=dict)
+    uptime_s: float = 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per wall-clock second of service uptime."""
+        return self.completed / self.uptime_s if self.uptime_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "delivery_violations": self.delivery_violations,
+            "inflight": self.inflight,
+            "queue_depth": dict(self.queue_depth),
+            "reserved_bytes": self.reserved_bytes,
+            "budget_bytes": (None if self.budget_bytes == float("inf")
+                             else self.budget_bytes),
+            "admission": dict(self.admission),
+            "plan_cache": dict(self.plan_cache),
+            "latency": dict(self.latency),
+            "queue_wait": dict(self.queue_wait),
+            "execute": dict(self.execute),
+            "uptime_s": self.uptime_s,
+            "throughput_qps": self.throughput_qps,
+        }

@@ -1,0 +1,65 @@
+"""Per-request tracing for the serving tier, on the wall clock.
+
+Reuses the :mod:`repro.obs.trace` span model and Chrome ``trace_event``
+export, but with a different timeline: engine traces run on the
+*simulated* cluster clock, while service traces run on the *real* clock
+(``time.perf_counter`` relative to service start).  Tracks map workers
+to "machines" (processes in Perfetto) and the :data:`ENGINE`
+pseudo-machine to a service-global track, so a traced workload shows,
+per request: the queue-wait span on the service track, then plan-cache
+lookup / execute / stream spans on the worker that ran it, with crash,
+retry, cancel and deadline instants in between.
+
+All recording methods are lock-guarded — unlike the engine tracer, many
+worker threads append concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Mapping
+
+from ..obs.trace import ENGINE, CounterEvent, InstantEvent, SpanEvent, Trace
+
+__all__ = ["ENGINE", "ServiceTracer"]
+
+
+class ServiceTracer:
+    """Wall-clock span recorder shared by the service's threads."""
+
+    enabled = True
+
+    def __init__(self, num_workers: int):
+        self.trace = Trace(num_machines=num_workers)
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        """Seconds since service start."""
+        return time.perf_counter() - self._t0
+
+    def span(self, name: str, track: int, t0: float, t1: float,
+             args: Mapping[str, Any] | None = None) -> None:
+        """Record a completed wall-clock span on a worker (or ENGINE) track."""
+        with self._lock:
+            self.trace.spans.append(SpanEvent(name, track, t0, t1, args))
+
+    def instant(self, name: str, track: int,
+                args: Mapping[str, Any] | None = None) -> None:
+        with self._lock:
+            self.trace.instants.append(
+                InstantEvent(name, track, self.now(), args))
+
+    def counter(self, name: str, track: int,
+                values: Mapping[str, float]) -> None:
+        with self._lock:
+            self.trace.counters.append(
+                CounterEvent(name, track, self.now(), dict(values)))
+
+    def save(self, path: str, meta: Mapping[str, Any] | None = None) -> None:
+        """Write the Chrome trace_event JSON (Perfetto-loadable)."""
+        if meta:
+            self.trace.meta.update(meta)
+        self.trace.meta.setdefault("clock", "wall (service-relative)")
+        self.trace.save(path)

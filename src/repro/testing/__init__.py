@@ -16,7 +16,10 @@ This package is the correctness backstop behind that claim:
 * :mod:`repro.testing.harness` — the differential runner, the greedy
   workload shrinker and the replayable failure artifacts;
 * :mod:`repro.testing.strategies` — hypothesis strategies shared with
-  ``tests/`` (imported lazily; requires hypothesis).
+  ``tests/`` (imported lazily; requires hypothesis);
+* :mod:`repro.testing.serving` — service-level oracles for
+  :mod:`repro.serve` (exactly-once accounting, admission-ledger drain,
+  concurrency == solo bit-identity, crash recovery).
 
 Long soak runs and artifact replay are driven by the CLI::
 
@@ -29,6 +32,8 @@ from .harness import (CaseFailure, ConformanceHarness, HarnessReport,
                       load_artifact, replay_artifact, run_case,
                       save_artifact, shrink_workload)
 from .oracles import OracleFailure, Reference, check_case, compute_reference
+from .serving import (SERVING_ORACLES, check_driver_report,
+                      check_service_run)
 from .workloads import Workload, random_pattern, random_workload
 
 __all__ = [
@@ -47,6 +52,9 @@ __all__ = [
     "Reference",
     "check_case",
     "compute_reference",
+    "SERVING_ORACLES",
+    "check_driver_report",
+    "check_service_run",
     "Workload",
     "random_pattern",
     "random_workload",

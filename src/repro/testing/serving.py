@@ -1,0 +1,144 @@
+"""Serving-semantics oracles for :mod:`repro.serve`.
+
+The conformance oracles in :mod:`repro.testing.oracles` check one engine
+run; these check a whole **service run** — a :class:`DriverReport` (or a
+service + its outcomes directly) — against the serving tier's contract:
+
+* ``accounted`` — every submitted request reached exactly one terminal
+  state (completed + cancelled + failed + rejected = submitted) and no
+  handle saw a duplicate terminal delivery (``delivery_violations == 0``
+  — the no-lost/no-duplicated-results invariant, including across
+  worker-crash retries);
+* ``ledger`` — the admission ledger drained back to zero after the run
+  and never double-released (``underflows == 0``);
+* ``solo-identical`` — every completed query's count (and, where the
+  engine result is available, its full simulated metrics report) is
+  bit-identical to the same request executed solo through
+  :func:`~repro.serve.service.run_query_solo` — concurrency must not
+  change what any query computes;
+* ``crash-recovered`` — every injected crash was observed
+  (``worker_crashes >= injected``) and recovered: a crashed query either
+  completed on a retry (``attempts > 1``) or failed only after
+  exhausting its retry budget.
+"""
+
+from __future__ import annotations
+
+from ..graph.graph import Graph
+from ..serve.driver import DriverReport
+from ..serve.request import QueryStatus
+from ..serve.service import run_query_solo
+from .oracles import OracleFailure
+
+__all__ = ["SERVING_ORACLES", "check_service_run", "check_driver_report"]
+
+#: serving oracle names, in checking order
+SERVING_ORACLES = ("accounted", "ledger", "solo-identical", "crash-recovered")
+
+
+def check_service_run(service, requests, outcomes, graph: Graph,
+                      injected_crashes: int = 0,
+                      check_solo: bool = True,
+                      default_config=None) -> list[OracleFailure]:
+    """Check one drained service run; returns violated invariants.
+
+    ``service`` must be stopped (drained); ``requests``/``outcomes`` are
+    the parallel submitted/terminal lists.
+    """
+    failures: list[OracleFailure] = []
+    stats = service.stats()
+
+    terminal = (stats.completed + stats.cancelled + stats.failed
+                + stats.rejected)
+    if terminal != stats.submitted:
+        failures.append(OracleFailure(
+            "accounted",
+            f"{stats.submitted} submitted but {terminal} terminal "
+            f"({stats.completed}C/{stats.cancelled}X/{stats.failed}F/"
+            f"{stats.rejected}R)"))
+    if stats.delivery_violations:
+        failures.append(OracleFailure(
+            "accounted",
+            f"{stats.delivery_violations} duplicate terminal deliveries"))
+    for req, outcome in zip(requests, outcomes):
+        if not outcome.status.terminal:
+            failures.append(OracleFailure(
+                "accounted", f"{req.label} ended non-terminal: "
+                f"{outcome.status.value}"))
+
+    if stats.reserved_bytes != 0.0:
+        failures.append(OracleFailure(
+            "ledger", f"admission ledger holds {stats.reserved_bytes}B "
+            f"after drain (expected 0)"))
+    underflows = stats.admission.get("underflows", 0)
+    if underflows:
+        failures.append(OracleFailure(
+            "ledger", f"{underflows} admission double-releases"))
+
+    if check_solo:
+        solo_cache: dict[tuple, object] = {}
+        for req, outcome in zip(requests, outcomes):
+            if outcome.status is not QueryStatus.COMPLETED:
+                continue
+            key = (outcome.canonical_key, req.num_machines,
+                   req.workers_per_machine, req.partition_seed)
+            solo = solo_cache.get(key)
+            if solo is None:
+                solo = run_query_solo(graph, req,
+                                      default_config=default_config)
+                solo_cache[key] = solo
+            if outcome.count != solo.count:
+                failures.append(OracleFailure(
+                    "solo-identical",
+                    f"{req.label}: served {outcome.count} != solo "
+                    f"{solo.count}"))
+            elif (outcome.result is not None
+                  and outcome.result.report.as_dict()
+                  != solo.result.report.as_dict()):
+                failures.append(OracleFailure(
+                    "solo-identical",
+                    f"{req.label}: simulated metrics differ from solo"))
+
+    if injected_crashes:
+        if stats.worker_crashes < injected_crashes:
+            failures.append(OracleFailure(
+                "crash-recovered",
+                f"{injected_crashes} crashes injected but only "
+                f"{stats.worker_crashes} observed"))
+        for req, outcome in zip(requests, outcomes):
+            if outcome.status is QueryStatus.COMPLETED:
+                continue
+            if (outcome.status is QueryStatus.FAILED
+                    and "crashed" in (outcome.error or "")
+                    and outcome.attempts <= service.max_retries):
+                failures.append(OracleFailure(
+                    "crash-recovered",
+                    f"{req.label} failed after {outcome.attempts} attempts "
+                    f"with retries left"))
+    return failures
+
+
+def check_driver_report(report: DriverReport) -> list[OracleFailure]:
+    """The subset of serving oracles checkable from a serialised
+    :class:`DriverReport` (accounting, ledger, recorded verification)."""
+    failures: list[OracleFailure] = []
+    svc = report.service
+    terminal = sum(report.counts_by_status.values())
+    if terminal != svc["submitted"]:
+        failures.append(OracleFailure(
+            "accounted", f"{svc['submitted']} submitted, {terminal} "
+            f"terminal outcomes"))
+    if svc["delivery_violations"]:
+        failures.append(OracleFailure(
+            "accounted",
+            f"{svc['delivery_violations']} duplicate deliveries"))
+    if svc["reserved_bytes"] != 0.0:
+        failures.append(OracleFailure(
+            "ledger", f"ledger holds {svc['reserved_bytes']}B after drain"))
+    if svc["admission"].get("underflows", 0):
+        failures.append(OracleFailure(
+            "ledger", f"{svc['admission']['underflows']} double-releases"))
+    if report.verified is False:
+        for msg in report.verify_failures:
+            failures.append(OracleFailure("solo-identical", msg))
+    return failures

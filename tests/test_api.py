@@ -41,6 +41,16 @@ class TestEnumerateSubgraphs:
                                      collect=True)
         assert result.matches is not None
 
+    def test_collect_does_not_mutate_caller_config(self, er_graph):
+        from repro import EngineConfig
+
+        cfg = EngineConfig()
+        enumerate_subgraphs(er_graph, "triangle", config=cfg, collect=True)
+        assert cfg.collect_results is False
+        # and the caller's choice is respected on a later run
+        assert enumerate_subgraphs(er_graph, "triangle",
+                                   config=cfg).matches is None
+
     def test_machine_count_invariance(self, er_graph):
         expect = count_matches(er_graph, get_query("q2"))
         for k in (1, 2, 8):

@@ -1,0 +1,433 @@
+"""Serving-semantics tests for :mod:`repro.serve`.
+
+The contract under test: concurrency, admission control, caching,
+deadlines and injected worker crashes never change *what* a query
+computes — every served query is bit-identical (count and simulated
+metrics) to the same request executed solo — and every submitted request
+reaches exactly one terminal state while the admission ledger drains
+back to zero.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import enumerate_subgraphs
+from repro.core import CancelToken, EngineConfig, QueryCancelledError
+from repro.serve import (AdmissionController, FaultInjector, LatencyRecorder,
+                         LoadDriver, MultiQueue, PlanCache, Priority,
+                         QueryRequest, QueryService, QueryStatus, QueueEntry,
+                         WorkloadSpec, estimate_query_bytes, percentile,
+                         run_query_solo)
+from repro.serve.request import QueryHandle
+from repro.testing import check_driver_report, check_service_run
+
+
+@pytest.fixture()
+def service(er_graph):
+    """A started 2-worker service over the ER graph (drained on exit)."""
+    svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                      backoff_base_s=0.01).start()
+    yield svc
+    svc.stop()
+
+
+def req(pattern="triangle", **kw):
+    kw.setdefault("dataset", "er")
+    kw.setdefault("num_machines", 2)
+    kw.setdefault("workers_per_machine", 2)
+    return QueryRequest(pattern=pattern, **kw)
+
+
+class TestBasicServing:
+    def test_single_query_matches_direct_run(self, service, er_graph):
+        outcome = service.submit(req("triangle")).result(timeout=60)
+        assert outcome.status is QueryStatus.COMPLETED
+        assert outcome.count == enumerate_subgraphs(
+            er_graph, "triangle", num_machines=2).count
+
+    def test_concurrent_queries_bit_identical_to_solo(self, service,
+                                                      er_graph):
+        """The tentpole invariant: N queries racing on the pool produce
+        exactly the counts *and simulated metrics* of their solo runs."""
+        requests = [req(p) for p in
+                    ("triangle", "q1", "q2", "q3", "triangle", "q1", "q2",
+                     "q3")]
+        handles = [service.submit(r) for r in requests]
+        outcomes = [h.result(timeout=60) for h in handles]
+        for r, o in zip(requests, outcomes):
+            assert o.status is QueryStatus.COMPLETED
+            solo = run_query_solo(er_graph, r)
+            assert o.count == solo.count
+            assert o.result.report.as_dict() == solo.result.report.as_dict()
+
+    def test_solo_runner_matches_enumerate_subgraphs(self, er_graph):
+        """run_query_solo (the service's oracle baseline) agrees with the
+        public API, so served == solo == enumerate_subgraphs."""
+        for name in ("triangle", "q1", "q2", "q3"):
+            assert run_query_solo(er_graph, req(name)).count == \
+                enumerate_subgraphs(er_graph, name, num_machines=2,
+                                    workers_per_machine=2).count
+
+    def test_unknown_dataset_raises(self, service):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            service.submit(req(dataset="nope"))
+
+    def test_submit_after_stop_raises(self, er_graph):
+        svc = QueryService(datasets={"er": er_graph}, num_workers=1).start()
+        svc.stop()
+        with pytest.raises(RuntimeError):
+            svc.submit(req())
+
+    def test_stats_accounting(self, service):
+        handles = [service.submit(req()) for _ in range(4)]
+        for h in handles:
+            h.result(timeout=60)
+        stats = service.stats()
+        assert stats.submitted == 4
+        assert stats.completed == 4
+        assert stats.delivery_violations == 0
+        assert stats.reserved_bytes == 0.0
+
+
+class TestPlanCache:
+    def test_isomorphic_requests_hit(self, service, er_graph):
+        from repro.query import get_query
+
+        base = get_query("q2")
+        relabelled = base.relabel({0: 3, 1: 1, 2: 0, 3: 2})
+        o1 = service.submit(req(base)).result(timeout=60)
+        o2 = service.submit(req(relabelled)).result(timeout=60)
+        assert o1.canonical_key == o2.canonical_key
+        assert o2.plan_cache_hit
+        assert o1.count == o2.count
+        assert service.plan_cache.stats.hits >= 1
+
+    def test_cache_shared_across_workers(self, service):
+        handles = [service.submit(req("q1")) for _ in range(6)]
+        for h in handles:
+            assert h.result(timeout=60).status is QueryStatus.COMPLETED
+        stats = service.plan_cache.stats
+        assert stats.hits > 0
+        assert stats.hits + stats.misses >= 6
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        for i, key in enumerate(("a", "b", "c")):
+            cache.put((key,), i)
+        assert cache.get(("a",)) is None
+        assert cache.get(("c",)) == 2
+        assert cache.stats.evictions == 1
+
+
+class TestDeadlinesAndCancellation:
+    def test_queued_deadline_expiry_releases_everything(self, er_graph):
+        """Deadline-exceeded queries are cancelled and their reservation
+        never leaks: the ledger drains to zero."""
+        svc = QueryService(datasets={"er": er_graph}, num_workers=1).start()
+        try:
+            blockers = [svc.submit(req("q3")) for _ in range(3)]
+            doomed = svc.submit(req("q3", deadline_s=0.001))
+            outcome = doomed.result(timeout=60)
+            assert outcome.status is QueryStatus.CANCELLED
+            assert "deadline" in outcome.error
+            for h in blockers:
+                assert h.result(timeout=60).status is QueryStatus.COMPLETED
+        finally:
+            svc.stop()
+        assert svc.stats().reserved_bytes == 0.0
+        assert svc.admission.stats.underflows == 0
+
+    def test_client_cancel_queued(self, er_graph):
+        svc = QueryService(datasets={"er": er_graph}, num_workers=1).start()
+        try:
+            blocker = svc.submit(req("q3"))
+            victim = svc.submit(req("q3"))
+            victim.cancel("changed my mind")
+            outcome = victim.result(timeout=60)
+            assert outcome.status is QueryStatus.CANCELLED
+            assert outcome.error == "changed my mind"
+            assert blocker.result(timeout=60).status is QueryStatus.COMPLETED
+        finally:
+            svc.stop()
+
+    def test_cancel_token_deadline(self):
+        token = CancelToken(deadline=time.monotonic() - 1.0)
+        with pytest.raises(QueryCancelledError, match="deadline"):
+            token.check()
+
+    def test_running_query_sees_cancellation(self, er_graph):
+        """The engine's scheduler polls the token: a mid-run cancel
+        unwinds as CANCELLED, not as a wrong result."""
+        svc = QueryService(datasets={"er": er_graph}, num_workers=1).start()
+        try:
+            handle = svc.submit(req("q3"))
+            # cancel as soon as it is actually running
+            for _ in range(2000):
+                if handle.status is QueryStatus.RUNNING:
+                    break
+                time.sleep(0.001)
+            handle.cancel("mid-run cancel")
+            outcome = handle.result(timeout=60)
+            # small queries may legitimately win the race and complete
+            assert outcome.status in (QueryStatus.CANCELLED,
+                                      QueryStatus.COMPLETED)
+        finally:
+            svc.stop()
+        assert svc.stats().reserved_bytes == 0.0
+
+
+class TestAdmissionControl:
+    def test_oversized_request_rejected(self, er_graph):
+        svc = QueryService(datasets={"er": er_graph}, num_workers=1,
+                           memory_budget_bytes=1.0).start()
+        try:
+            outcome = svc.submit(req()).result(timeout=60)
+            assert outcome.status is QueryStatus.REJECTED
+            assert "budget" in outcome.error
+        finally:
+            svc.stop()
+
+    def test_budget_serialises_but_completes(self, er_graph):
+        """A budget that fits one query at a time forces serial dispatch;
+        everything still completes and the peak stays within budget."""
+        request = req("triangle")
+        estimate = estimate_query_bytes(
+            3, er_graph, EngineConfig(), request.num_machines)
+        svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                           memory_budget_bytes=estimate * 1.5).start()
+        try:
+            handles = [svc.submit(req("triangle")) for _ in range(4)]
+            for h in handles:
+                assert h.result(timeout=60).status is QueryStatus.COMPLETED
+        finally:
+            svc.stop()
+        stats = svc.admission.stats
+        assert stats.peak_reserved_bytes <= estimate * 1.5
+        assert svc.stats().reserved_bytes == 0.0
+
+    def test_controller_ledger(self):
+        ctl = AdmissionController(100.0)
+        assert ctl.try_reserve(60.0)
+        assert not ctl.try_reserve(60.0)
+        assert ctl.fits_now(40.0)
+        ctl.release(60.0)
+        assert ctl.reserved_bytes == 0.0
+        ctl.release(1.0)  # double release is observable
+        assert ctl.stats.underflows == 1
+
+    def test_estimate_scales_with_pattern_and_machines(self, er_graph):
+        cfg = EngineConfig()
+        small = estimate_query_bytes(3, er_graph, cfg, 2)
+        assert estimate_query_bytes(5, er_graph, cfg, 2) > small
+        assert estimate_query_bytes(3, er_graph, cfg, 4) > small
+
+
+class TestFaultTolerance:
+    def test_crashed_query_completes_exactly_once(self, er_graph):
+        """A worker killed mid-run is detected; the query retries on a
+        fresh worker and completes once — never lost, never duplicated."""
+        injector = FaultInjector()
+        svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                           injector=injector, backoff_base_s=0.01).start()
+        try:
+            victim = req("q2")
+            injector.crash(victim.seq, attempt=1, after_polls=2)
+            others = [svc.submit(req("q2")) for _ in range(2)]
+            handle = svc.submit(victim)
+            outcome = handle.result(timeout=60)
+            assert outcome.status is QueryStatus.COMPLETED
+            assert outcome.attempts == 2
+            assert outcome.count == run_query_solo(er_graph, victim).count
+            for h in others:
+                assert h.result(timeout=60).status is QueryStatus.COMPLETED
+        finally:
+            svc.stop()
+        stats = svc.stats()
+        assert stats.worker_crashes == 1
+        assert stats.retries == 1
+        assert stats.delivery_violations == 0
+        assert handle.delivery_violations == 0
+        assert stats.reserved_bytes == 0.0
+        assert injector.injected == 1
+
+    def test_repeated_crashes_exhaust_retries(self, er_graph):
+        injector = FaultInjector()
+        svc = QueryService(datasets={"er": er_graph}, num_workers=1,
+                           injector=injector, max_retries=1,
+                           backoff_base_s=0.01).start()
+        try:
+            victim = req("q1")
+            injector.crash(victim.seq, attempt=1, after_polls=2)
+            injector.crash(victim.seq, attempt=2, after_polls=2)
+            outcome = svc.submit(victim).result(timeout=60)
+            assert outcome.status is QueryStatus.FAILED
+            assert "crashed" in outcome.error
+            assert outcome.attempts == 2
+        finally:
+            svc.stop()
+        assert svc.stats().worker_crashes == 2
+        assert svc.stats().reserved_bytes == 0.0
+
+    def test_pool_survives_crash(self, er_graph):
+        """After a crash the pool is back to full strength."""
+        injector = FaultInjector()
+        svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                           injector=injector, backoff_base_s=0.01).start()
+        try:
+            victim = req()
+            injector.crash(victim.seq, attempt=1, after_polls=2)
+            svc.submit(victim).result(timeout=60)
+            handles = [svc.submit(req()) for _ in range(4)]
+            for h in handles:
+                assert h.result(timeout=60).status is QueryStatus.COMPLETED
+            assert sum(w.is_alive() for w in svc._workers) == 2
+        finally:
+            svc.stop()
+
+
+class TestStreaming:
+    def test_chunks_reassemble_full_result(self, service, er_graph):
+        direct = enumerate_subgraphs(er_graph, "triangle", num_machines=2,
+                                     collect=True)
+        handle = service.submit(req("triangle", stream=True, chunk_size=4))
+        rows = []
+        for chunk in handle.chunks(timeout=60):
+            assert len(chunk.rows) <= 4
+            rows.extend(chunk.rows)
+        outcome = handle.result(timeout=60)
+        assert outcome.status is QueryStatus.COMPLETED
+        assert len(rows) == outcome.count
+        assert sorted(rows) == sorted(direct.matches)
+
+    def test_collect_without_stream_returns_matches(self, service, er_graph):
+        direct = enumerate_subgraphs(er_graph, "q1", num_machines=2,
+                                     collect=True)
+        outcome = service.submit(req("q1", collect=True)).result(timeout=60)
+        assert sorted(outcome.result.matches) == sorted(direct.matches)
+
+    def test_relabelled_pattern_matches_remapped(self, service, er_graph):
+        """Matches come back in the *request's* vertex order even though
+        the cached plan ran the canonical form."""
+        from repro.query import get_query
+
+        base = get_query("triangle")
+        relabelled = base.relabel({0: 2, 1: 0, 2: 1})
+        direct = enumerate_subgraphs(er_graph, relabelled, num_machines=2,
+                                     collect=True)
+        outcome = service.submit(req(relabelled, collect=True)) \
+            .result(timeout=60)
+        assert sorted(outcome.result.matches) == sorted(direct.matches)
+
+
+class TestFairScheduling:
+    def test_priority_dispatch_order(self):
+        q = MultiQueue()
+        entries = {}
+        for i, prio in enumerate([Priority.LOW, Priority.NORMAL,
+                                  Priority.HIGH]):
+            r = QueryRequest(pattern="triangle", dataset="d", priority=prio)
+            e = QueueEntry(QueryHandle(r), 0.0, 0.0, float("inf"))
+            q.push(e)
+            entries[prio] = e
+        assert q.pop_eligible(1.0, lambda e: True) is entries[Priority.HIGH]
+
+    def test_wrr_prevents_starvation(self):
+        """Under saturation LOW still drains: 4:2:1 credits."""
+        q = MultiQueue()
+        for _ in range(12):
+            for prio in (Priority.HIGH, Priority.LOW):
+                r = QueryRequest(pattern="t", dataset="d", priority=prio)
+                q.push(QueueEntry(QueryHandle(r), 0.0, 0.0, float("inf")))
+        first8 = [q.pop_eligible(1.0, lambda e: True).handle.request.priority
+                  for _ in range(8)]
+        assert Priority.LOW in first8
+
+    def test_edf_within_priority(self):
+        q = MultiQueue()
+        deadlines = [5.0, 1.0, 3.0]
+        for d in deadlines:
+            r = QueryRequest(pattern="t", dataset="d")
+            q.push(QueueEntry(QueryHandle(r), 0.0, 0.0, d))
+        popped = [q.pop_eligible(0.0, lambda e: True).abs_deadline
+                  for _ in range(3)]
+        assert popped == sorted(deadlines)
+
+    def test_backoff_gate(self):
+        q = MultiQueue()
+        r = QueryRequest(pattern="t", dataset="d")
+        e = QueueEntry(QueryHandle(r), 0.0, 0.0, float("inf"))
+        e.not_before = 10.0
+        q.push(e)
+        assert q.pop_eligible(5.0, lambda e: True) is None
+        assert q.pop_eligible(10.0, lambda e: True) is e
+
+    def test_tenant_cap_enforced(self, er_graph):
+        svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                           tenant_max_inflight=1).start()
+        try:
+            seen = []
+            lock = threading.Lock()
+            orig = svc._run_entry
+
+            def spy(worker, entry):
+                with lock:
+                    seen.append(len([e for e in svc._inflight.values()
+                                     if e.handle.request.tenant == "a"]))
+                return orig(worker, entry)
+
+            svc._run_entry = spy
+            handles = [svc.submit(req(tenant="a")) for _ in range(4)]
+            for h in handles:
+                assert h.result(timeout=60).status is QueryStatus.COMPLETED
+            assert max(seen) <= 1
+        finally:
+            svc.stop()
+
+
+class TestServingOracles:
+    def test_oracles_pass_on_mixed_workload(self, er_graph):
+        injector = FaultInjector()
+        svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                           injector=injector, backoff_base_s=0.01).start()
+        requests = [req(p) for p in ("triangle", "q1", "q2", "triangle",
+                                     "q1", "q2")]
+        injector.crash(requests[0].seq, attempt=1, after_polls=2)
+        try:
+            handles = [svc.submit(r) for r in requests]
+            outcomes = [h.result(timeout=60) for h in handles]
+        finally:
+            svc.stop()
+        failures = check_service_run(svc, requests, outcomes, er_graph,
+                                     injected_crashes=1)
+        assert failures == []
+
+    def test_driver_verify_and_report_oracles(self, er_graph):
+        spec = WorkloadSpec(num_queries=6, dataset="er",
+                            patterns=("triangle", "q1"), num_machines=2,
+                            workers_per_machine=2, crashes=1,
+                            relabel_fraction=0.5)
+        driver = LoadDriver(er_graph, spec, num_workers=2)
+        report = driver.run(verify=True)
+        assert report.verified is True
+        assert report.counts_by_status == {"completed": 6}
+        assert check_driver_report(report) == []
+
+
+class TestStatsPrimitives:
+    def test_percentile(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(vals, 0) == 1.0
+        assert percentile(vals, 100) == 4.0
+        assert percentile(vals, 50) == 2.5
+        assert percentile([], 50) == 0.0
+
+    def test_latency_recorder(self):
+        rec = LatencyRecorder()
+        for v in (0.1, 0.2, 0.3):
+            rec.add(v)
+        snap = rec.snapshot()
+        assert snap["count"] == 3
+        assert snap["p50_s"] == pytest.approx(0.2)
+        assert snap["max_s"] == pytest.approx(0.3)
