@@ -1,0 +1,112 @@
+"""Motif-census benchmark: ESU enumeration + memoised canonicalisation.
+
+Runs the size-k census (k = 3 and 4) over the GO stand-in and measures
+the census walk itself: wall-clock enumeration throughput (connected
+k-subgraphs per second), the canonical memo's effectiveness (hit rate,
+and the once-per-class guarantee ``canonical_calls == classes``), and
+the simulated cluster ledger (time / communication).  Each census runs
+**twice** on freshly-built clusters and the two runs must be
+bit-identical — counts, memo counters and the simulated report — so the
+benchmark doubles as the census determinism gate.
+
+Each run appends one record to ``results/BENCH_census.json``::
+
+    PYTHONPATH=src python benchmarks/bench_census.py [--label after]
+    PYTHONPATH=src python benchmarks/bench_census.py --smoke   # CI: k=3
+
+The seed is pinned through ``REPRO_BENCH_SEED`` (default 1) like every
+other benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import BENCH_SEED, RESULTS_DIR, make_cluster  # noqa: E402
+
+from repro.apps.mining import connected_patterns, motif_census  # noqa: E402
+
+RECORD_PATH = os.path.join(RESULTS_DIR, "BENCH_census.json")
+
+DATASET = "GO"
+SIZES = (3, 4)
+SMOKE_SIZES = (3,)
+
+
+def _run_once(k: int) -> tuple[dict, float]:
+    """One census on a fresh cluster; returns (as_dict record, wall s)."""
+    cluster = make_cluster(DATASET)
+    t0 = time.perf_counter()
+    res = motif_census(cluster, k)
+    wall = time.perf_counter() - t0
+    return res.as_dict(), wall
+
+
+def bench(label: str, smoke: bool = False) -> dict:
+    sizes = SMOKE_SIZES if smoke else SIZES
+    record: dict = {"label": label, "seed": BENCH_SEED, "dataset": DATASET,
+                    "runs": {}}
+    deterministic = True
+    memo_effective = True
+    for k in sizes:
+        first, wall = _run_once(k)
+        second, _ = _run_once(k)
+        identical = first == second
+        deterministic &= identical
+        classes = len(connected_patterns(k))
+        memo_effective &= (first["memo_hit_rate"] > 0
+                           and first["canonical_calls"] <= classes)
+        record["runs"][f"k{k}"] = {
+            "wall_s": round(wall, 4),
+            "total_subgraphs": first["total_subgraphs"],
+            "subgraphs_per_s": round(first["total_subgraphs"]
+                                     / max(wall, 1e-9)),
+            "classes": classes,
+            "counts": first["counts"],
+            "canonical_calls": first["canonical_calls"],
+            "memo_hits": first["memo_hits"],
+            "memo_hit_rate": round(first["memo_hit_rate"], 6),
+            "sim_time_s": round(first["report"]["total_time_s"], 6),
+            "sim_comm_mb": round(
+                first["report"]["bytes_transferred"] / 1e6, 4),
+            "bit_identical_rerun": identical,
+        }
+    record["deterministic"] = deterministic
+    record["memo_effective"] = memo_effective
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="run",
+                        help="tag for this record (e.g. before/after)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (k=3 only); record not saved")
+    ns = parser.parse_args(argv)
+    record = bench(ns.label, smoke=ns.smoke)
+    print(json.dumps(record, indent=2))
+    failed = (not record["deterministic"] or not record["memo_effective"]
+              or any(r["total_subgraphs"] == 0
+                     for r in record["runs"].values()))
+    if ns.smoke:
+        return 1 if failed else 0
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    trajectory = []
+    if os.path.exists(RECORD_PATH):
+        with open(RECORD_PATH, encoding="utf-8") as f:
+            trajectory = json.load(f)
+    trajectory.append(record)
+    with open(RECORD_PATH, "w", encoding="utf-8") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,8 @@ hop-constrained path enumeration, graph pattern mining."""
 from .cypher import (CypherError, CypherResult, ParsedQuery, execute_cypher,
                      parse_cypher)
 from .hopconstrained import count_st_paths, enumerate_st_paths
-from .mining import connected_patterns, frequent_patterns, motif_counts
+from .mining import (CensusResult, connected_patterns, frequent_patterns,
+                     motif_census, motif_counts)
 from .shortest_path import shortest_path, shortest_path_lengths
 
 __all__ = [
@@ -15,8 +16,10 @@ __all__ = [
     "parse_cypher",
     "count_st_paths",
     "enumerate_st_paths",
+    "CensusResult",
     "connected_patterns",
     "frequent_patterns",
+    "motif_census",
     "motif_counts",
     "shortest_path",
     "shortest_path_lengths",

@@ -3,47 +3,62 @@
 "A GPM system essentially processes subgraph enumeration repeatedly from
 small query graphs to larger ones, each time adding one more query
 vertex/edge.  Thus, HUGE can be deployed as a GPM system by adding the
-control flow like loop."  This module provides that loop:
+control flow like loop."  This module provides that loop, plus the
+workload the loop exists for:
 
-* :func:`motif_counts` — counts of every connected pattern with ``k``
-  vertices (motif counting [52]);
+* :func:`motif_census` — the size-k motif census: an ESU enumeration of
+  *all* connected k-subgraphs (k = 2..5) over bitset adjacency, each
+  counted under its isomorphism class via a memoised canonical key
+  (:class:`~repro.query.canonical.CanonicalMemo`), so the WL+BnB
+  canonicaliser runs once per class, not once per subgraph;
+* :func:`motif_counts` — engine-based counts of every connected pattern
+  with ``k`` vertices (non-induced embeddings; motif counting [52]);
 * :func:`frequent_patterns` — the patterns whose instance count clears a
   support threshold, grown level-wise (frequent subgraph mining [36]).
+
+The census is a first-class simulated workload: each machine walks the
+roots it owns, compute ops land on its workers' clocks, remote adjacency
+rows are pulled once per machine through the GetNbrs RPC (a perfect
+per-machine cache, the LRBU limit case), and the run yields the standard
+:class:`~repro.cluster.metrics.RunReport` plus optional obs spans.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import lru_cache
 from itertools import combinations
+from typing import Any
 
 from ..cluster.cluster import Cluster
+from ..cluster.metrics import RunReport
 from ..core.engine import EngineConfig, HugeEngine
+from ..core.kernels import adjacency_bitsets, induced_bitrows
+from ..query.canonical import CanonicalMemo
 from ..query.pattern import QueryGraph
 
-__all__ = ["connected_patterns", "motif_counts", "frequent_patterns"]
+__all__ = ["CensusResult", "connected_patterns", "frequent_patterns",
+           "motif_census", "motif_counts"]
+
+#: simulated op weights of the census walk (deterministic by design):
+#: one op per vertex added to a partial subgraph, ``k`` ops to encode an
+#: enumerated leaf, and ``k²`` extra ops when the class must be
+#: canonicalised (a memo miss)
+_OP_EXPAND = 1.0
 
 
-def _canonical(pattern: QueryGraph) -> tuple:
-    """A cheap canonical form for tiny patterns: the lexicographically
-    smallest edge set over all vertex permutations."""
-    from itertools import permutations
+@lru_cache(maxsize=None)
+def connected_patterns(k: int) -> tuple[QueryGraph, ...]:
+    """All non-isomorphic connected patterns on ``k`` vertices (k ≤ 5).
 
-    n = pattern.num_vertices
-    best = None
-    for perm in permutations(range(n)):
-        edges = tuple(sorted(
-            (min(perm[u], perm[v]), max(perm[u], perm[v]))
-            for u, v in pattern.edges))
-        if best is None or edges < best:
-            best = edges
-    return (n, best)
-
-
-def connected_patterns(k: int) -> list[QueryGraph]:
-    """All non-isomorphic connected patterns on ``k`` vertices (k ≤ 5)."""
+    Classes are deduplicated by :meth:`QueryGraph.canonical_key` — the
+    same WL+BnB canonicaliser the census memo and the serving plan cache
+    key on — and returned in a deterministic order (``motif{k}-{i}``).
+    """
     if not 2 <= k <= 5:
         raise ValueError("pattern size must be between 2 and 5")
     all_edges = list(combinations(range(k), 2))
-    seen: dict[tuple, QueryGraph] = {}
+    seen: dict[str, QueryGraph] = {}
     for mask in range(1, 1 << len(all_edges)):
         edges = [e for i, e in enumerate(all_edges) if mask >> i & 1]
         q = QueryGraph(k, edges)
@@ -51,18 +66,186 @@ def connected_patterns(k: int) -> list[QueryGraph]:
             continue
         if any(q.degree(v) == 0 for v in q.vertices()):
             continue
-        key = _canonical(q)
+        key = q.canonical_key()
         if key not in seen:
             seen[key] = QueryGraph(k, edges, name=f"motif{k}-{len(seen)}")
-    return list(seen.values())
+    return tuple(seen.values())
+
+
+@lru_cache(maxsize=None)
+def census_class_names(k: int) -> dict[str, str]:
+    """Canonical key → motif name for every connected k-vertex class."""
+    return {p.canonical_key(): p.name for p in connected_patterns(k)}
+
+
+@dataclass(frozen=True)
+class CensusResult:
+    """Outcome of one size-k motif census run."""
+
+    k: int
+    counts: dict[str, int]
+    """Per-class census counts, keyed by motif name (``motif{k}-{i}``);
+    every connected class appears, zero-count ones included."""
+    class_keys: dict[str, str]
+    """Motif name → canonical key (the memo/plan-cache key space)."""
+    total_subgraphs: int
+    """Number of connected k-subgraphs enumerated (= sum of counts)."""
+    memo_hits: int
+    canonical_calls: int
+    """WL+BnB canonicaliser invocations — at most one per class seen."""
+    report: RunReport
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of classifications served from the memo."""
+        total = self.memo_hits + self.canonical_calls
+        return self.memo_hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable view (CLI ``--json`` and bench records)."""
+        return {
+            "k": self.k,
+            "counts": dict(self.counts),
+            "class_keys": dict(self.class_keys),
+            "total_subgraphs": self.total_subgraphs,
+            "memo_hits": self.memo_hits,
+            "canonical_calls": self.canonical_calls,
+            "memo_hit_rate": self.memo_hit_rate,
+            "report": self.report.as_dict(),
+        }
+
+
+def motif_census(cluster: Cluster, k: int,
+                 memo: CanonicalMemo | None = None,
+                 tracer=None) -> CensusResult:
+    """Count every connected ``k``-subgraph of the data graph by class.
+
+    ESU enumeration (Wernicke): each vertex ``v`` roots the subgraphs
+    whose minimum vertex is ``v``, grown only through *exclusive*
+    neighbours with id ``> v``, so every connected k-vertex set is
+    enumerated exactly once.  Adjacency is bitset-packed
+    (:func:`~repro.core.kernels.adjacency_bitsets`), making the walk's
+    set algebra int-AND/OR; each leaf is classified through ``memo``
+    (fresh per run unless shared by the caller), whose class closure
+    guarantees the canonicaliser runs at most once per isomorphism
+    class.
+
+    Note the census counts **induced** occurrences — each vertex set
+    once, under the class of its induced subgraph — whereas
+    :func:`motif_counts` counts non-induced pattern embeddings through
+    the engine; a triangle is one census subgraph but contains three
+    (non-induced) wedges.
+    """
+    if not 2 <= k <= 5:
+        raise ValueError("census size must be between 2 and 5")
+    graph = cluster.graph
+    metrics = cluster.metrics
+    if memo is None:
+        memo = CanonicalMemo()
+    hits0, calls0 = memo.hits, memo.canonical_calls
+    masks = adjacency_bitsets(graph)
+    counts: dict[str, int] = {}
+    total = 0
+
+    traced = tracer is not None
+    if traced:
+        tracer.bind(metrics)
+        prev_cluster_tracer, cluster.tracer = cluster.tracer, tracer
+
+    try:
+        for machine in range(cluster.num_machines):
+            if traced:
+                t0 = tracer.now(machine)
+            roots = cluster.local_vertices(machine)
+            workers = cluster.workers_per_machine
+            per_worker = [0.0] * workers
+            touched: set[int] = set()
+            leaves_before = total
+
+            for i, root in enumerate(roots):
+                root = int(root)
+                ops = 0.0
+                sub = [root]
+                touched.add(root)
+                # candidate extensions: neighbours with id > root
+                gt_root = -1 << (root + 1)
+                ext0 = masks[root] & gt_root
+
+                def extend(sub: list[int], nbh: int, ext: int) -> float:
+                    nonlocal total
+                    ops = 0.0
+                    if len(sub) == k:
+                        rows = induced_bitrows(masks, tuple(sorted(sub)))
+                        misses = memo.canonical_calls
+                        key = memo.key_for(k, rows)
+                        ops += float(k)
+                        if memo.canonical_calls > misses:
+                            ops += float(k * k)
+                            if traced:
+                                tracer.instant("canon miss", machine,
+                                               {"key": key})
+                        counts[key] = counts.get(key, 0) + 1
+                        total += 1
+                        return ops
+                    while ext:
+                        low = ext & -ext
+                        ext ^= low
+                        w = low.bit_length() - 1
+                        touched.add(w)
+                        ops += _OP_EXPAND
+                        excl = masks[w] & ~nbh & gt_root
+                        sub.append(w)
+                        ops += extend(sub, nbh | masks[w] | low, ext | excl)
+                        sub.pop()
+                    return ops
+
+                ops += extend(sub, masks[root] | (1 << root), ext0)
+                per_worker[i % workers] += ops
+
+            metrics.charge_worker_ops(machine, per_worker)
+            if traced:
+                tracer.complete(
+                    "census walk", machine, t0, tracer.now(machine),
+                    {"roots": len(roots),
+                     "subgraphs": total - leaves_before})
+            # remote adjacency rows this machine read, pulled once each
+            # (per-machine perfect cache) through the batched GetNbrs RPC
+            remote = sorted(v for v in touched
+                            if cluster.machine_of(v) != machine)
+            if remote:
+                if traced:
+                    t0 = tracer.now(machine)
+                cluster.get_nbrs(machine, remote)
+                if traced:
+                    tracer.complete("census fetch", machine, t0,
+                                    tracer.now(machine),
+                                    {"remote": len(remote)})
+    finally:
+        if traced:
+            cluster.tracer = prev_cluster_tracer
+
+    names = census_class_names(k)
+    by_name = {name: 0 for name in names.values()}
+    for key, count in counts.items():
+        by_name[names[key]] = count
+    return CensusResult(
+        k=k,
+        counts=by_name,
+        class_keys={name: key for key, name in names.items()},
+        total_subgraphs=total,
+        memo_hits=memo.hits - hits0,
+        canonical_calls=memo.canonical_calls - calls0,
+        report=metrics.report(),
+    )
 
 
 def motif_counts(cluster: Cluster, k: int,
                  config: EngineConfig | None = None) -> dict[str, int]:
     """Count every ``k``-vertex motif with the HUGE engine.
 
-    Returns pattern name → instance count.  Each motif is one subgraph
-    enumeration query planned by Algorithm 1; this is the GPM loop of §6.
+    Returns pattern name → (non-induced, symmetry-broken) instance
+    count.  Each motif is one subgraph enumeration query planned by
+    Algorithm 1; this is the GPM loop of §6.
     """
     engine = HugeEngine(cluster, config)
     counts: dict[str, int] = {}

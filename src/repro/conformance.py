@@ -28,13 +28,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .testing.configs import baseline_matrix, default_matrix, smoke_matrix
+from .testing.configs import (baseline_matrix, census_matrix,
+                              default_matrix, smoke_matrix)
 from .testing.harness import ConformanceHarness, load_artifact, run_case
 
 __all__ = ["main", "build_parser"]
 
 _MATRICES = {"full": default_matrix, "smoke": smoke_matrix,
-             "baseline": baseline_matrix}
+             "baseline": baseline_matrix, "census": census_matrix}
 
 
 def _matrix(name: str):
@@ -90,6 +91,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
                   f"cache={spec.cache_variant:9s} stealing={spec.stealing:12s} "
                   f"queue={spec.output_queue_capacity:g} "
                   f"batch={spec.batch_size}")
+        elif spec.is_census:
+            print(f"{spec.name:22s} census  k={spec.census_k}")
         else:
             print(f"{spec.name:22s} {spec.engine}")
     return 0
@@ -109,11 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="minimum workload × config cases to run")
     r.add_argument("--seed", type=int, default=0,
                    help="base seed of the deterministic workload stream")
-    r.add_argument("--matrix", choices=("smoke", "full", "baseline"),
+    r.add_argument("--matrix",
+                   choices=("smoke", "full", "baseline", "census"),
                    default="smoke",
                    help="engine matrix to fan each workload across "
                         "(baseline: the four baseline systems + HUGE's "
-                        "plug-in replicas of their plans)")
+                        "plug-in replicas of their plans; census: the ESU "
+                        "motif-census family at k=3..5)")
     r.add_argument("--max-vertices", type=int, default=14,
                    help="data-graph size cap")
     r.add_argument("--max-seconds", type=float, default=None,
@@ -135,7 +140,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_replay)
 
     m = sub.add_parser("matrix", help="list the engine matrix")
-    m.add_argument("--matrix", choices=("smoke", "full", "baseline"),
+    m.add_argument("--matrix",
+                   choices=("smoke", "full", "baseline", "census"),
                    default="full")
     m.set_defaults(func=_cmd_matrix)
     return parser

@@ -32,6 +32,7 @@ from typing import Sequence
 import numpy as np
 
 __all__ = [
+    "adjacency_bitsets",
     "chain_add",
     "chained_costs",
     "chunk_charges",
@@ -39,6 +40,7 @@ __all__ = [
     "edge_member",
     "exact_chain_total",
     "hash_destinations",
+    "induced_bitrows",
     "intersect_sorted",
     "join_pairs",
     "log2_plus2_table",
@@ -214,6 +216,49 @@ def edge_member(comp: np.ndarray, num_vertices: int, src: np.ndarray,
     idx = np.searchsorted(comp, q)
     idx[idx == len(comp)] = 0
     return comp[idx] == q
+
+
+def adjacency_bitsets(graph) -> list[int]:
+    """Per-vertex neighbour bitmasks as arbitrary-precision python ints.
+
+    ``adjacency_bitsets(g)[u]`` has bit ``v`` set iff ``(u, v)`` is an
+    edge — the BitGraph idiom: one machine word per 64 vertices, so the
+    ESU walk's set algebra (exclusive neighbourhoods, visited masks,
+    candidate extensions) collapses into ``&``/``|``/``~`` on ints.  Rows
+    are packed from the CSR arrays in one vectorised pass.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    mat = np.zeros((n, n), dtype=bool)
+    mat[np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr)),
+        graph.indices] = True
+    packed = np.packbits(mat, axis=1, bitorder="little")
+    buf = packed.tobytes()
+    width = packed.shape[1]
+    return [int.from_bytes(buf[i * width:(i + 1) * width], "little")
+            for i in range(n)]
+
+
+def induced_bitrows(masks: Sequence[int],
+                    vertices: Sequence[int]) -> tuple[int, ...]:
+    """Adjacency bit-rows of the subgraph induced by ``vertices``.
+
+    ``vertices`` must be sorted; row ``i`` has bit ``j`` set iff
+    ``(vertices[i], vertices[j])`` is an edge.  The rows are the compact
+    subgraph encoding the census memoises: isomorphic subgraphs on
+    *identical* local adjacency produce identical rows, so equal rows
+    are a cache hit without touching the canonicaliser.
+    """
+    rows = []
+    for v in vertices:
+        m = masks[v]
+        row = 0
+        for j, u in enumerate(vertices):
+            if (m >> u) & 1:
+                row |= 1 << j
+        rows.append(row)
+    return tuple(rows)
 
 
 def log2_plus2_table(graph) -> np.ndarray:

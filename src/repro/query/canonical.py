@@ -1,0 +1,134 @@
+"""Memoised canonical-key lookup for small subgraphs (the census memo).
+
+The WL-refinement + branch-and-bound canonicaliser behind
+:meth:`~repro.query.pattern.QueryGraph.canonical_key` is a complete
+isomorphism invariant, but it is the expensive step of any repeated
+enumeration workload: a size-k motif census classifies *every* connected
+k-subgraph of the data graph, and the same handful of isomorphism classes
+recur millions of times.  :class:`CanonicalMemo` is the memoesu trick
+adapted to that workload: a table from a subgraph's local adjacency
+encoding (bit-rows, see
+:func:`~repro.core.kernels.induced_bitrows`) to its canonical key.
+
+The table is **closed under relabelling**: on a miss, the canonicaliser
+runs once and the key is then inserted for *every* permutation of the
+encoding (``n! ≤ 120`` rows for the census sizes ``n ≤ 5``).  Any later
+encoding of the same isomorphism class — however its vertices happen to
+be ordered by the enumerator — is therefore a plain dict hit, which is
+what makes the memo's guarantee exact rather than heuristic: the
+canonicaliser is invoked **at most once per isomorphism class**, and
+``canonical_calls == number of distinct classes seen``.  The hit/miss
+counters are part of the public surface; the conformance census oracles
+and the benchmark smoke gate assert on them.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Sequence
+
+from .pattern import QueryGraph
+
+__all__ = ["CanonicalMemo", "MAX_MEMO_VERTICES", "permute_bitrows"]
+
+#: closing a class under relabelling costs ``n!`` insertions, so the memo
+#: is capped at census-sized subgraphs
+MAX_MEMO_VERTICES = 8
+
+
+def permute_bitrows(rows: Sequence[int],
+                    perm: Sequence[int]) -> tuple[int, ...]:
+    """Relabel adjacency bit-rows through ``perm`` (``perm[i]`` = new
+    position of local vertex ``i``)."""
+    n = len(rows)
+    out = [0] * n
+    for i in range(n):
+        row = rows[i]
+        new_row = 0
+        for j in range(n):
+            if (row >> j) & 1:
+                new_row |= 1 << perm[j]
+        out[perm[i]] = new_row
+    return tuple(out)
+
+
+class CanonicalMemo:
+    """Encoding → canonical-key cache, closed under relabelling.
+
+    ``hits`` counts lookups answered from the table; ``canonical_calls``
+    counts invocations of the underlying WL+BnB canonicaliser — by
+    construction exactly one per isomorphism class ever seen, so
+    ``canonical_calls == len(classes())`` always holds.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict[tuple[int, tuple[int, ...]], str] = {}
+        self.hits = 0
+        self.canonical_calls = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def key_for(self, n: int, rows: tuple[int, ...]) -> str:
+        """Canonical key of the ``n``-vertex subgraph encoded by ``rows``.
+
+        ``rows`` are local adjacency bit-rows (row ``i`` bit ``j`` set iff
+        local vertices ``i`` and ``j`` are adjacent).  A hit is one dict
+        probe; a miss canonicalises once and inserts all ``n!``
+        relabellings of the encoding.
+        """
+        if n > MAX_MEMO_VERTICES:
+            raise ValueError(
+                f"CanonicalMemo closes classes under relabelling (n! rows); "
+                f"n={n} exceeds the supported {MAX_MEMO_VERTICES}")
+        key = self._table.get((n, rows))
+        if key is not None:
+            self.hits += 1
+            return key
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)
+                 if (rows[i] >> j) & 1]
+        self.canonical_calls += 1
+        key = QueryGraph(n, edges).canonical_key()
+        for perm in permutations(range(n)):
+            self._table.setdefault((n, permute_bitrows(rows, perm)), key)
+        return key
+
+    def key_of(self, pattern: QueryGraph) -> str:
+        """Canonical key of an (unlabelled) pattern, through the memo."""
+        if pattern.is_labelled:
+            raise ValueError("CanonicalMemo caches unlabelled subgraph "
+                             "classes; labelled patterns key the plan "
+                             "cache directly via canonical_key()")
+        n = pattern.num_vertices
+        rows = [0] * n
+        for u, v in pattern.edges:
+            rows[u] |= 1 << v
+            rows[v] |= 1 << u
+        return self.key_for(n, tuple(rows))
+
+    # -- introspection ---------------------------------------------------------
+
+    def classes(self) -> set[str]:
+        """The distinct canonical keys the memo has resolved."""
+        return set(self._table.values())
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + canonicaliser calls)."""
+        return self.hits + self.canonical_calls
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered without the canonicaliser."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def stats(self) -> dict[str, float | int]:
+        """JSON-ready counters (the benchmark/oracle surface)."""
+        return {
+            "hits": self.hits,
+            "canonical_calls": self.canonical_calls,
+            "classes": len(self.classes()),
+            "hit_rate": self.hit_rate,
+        }

@@ -10,7 +10,8 @@ This package is the correctness backstop behind that claim:
 * :mod:`repro.testing.workloads` — randomized, replayable workloads
   (graph × pattern × cluster shape), JSON round-trippable;
 * :mod:`repro.testing.configs` — the engine-configuration matrix
-  (baselines, and HUGE across plan × scheduler × cache dimensions);
+  (baselines, HUGE across plan × scheduler × cache dimensions, and the
+  ESU motif-census workload family);
 * :mod:`repro.testing.oracles` — the invariant oracles every run is
   checked against;
 * :mod:`repro.testing.harness` — the differential runner, the greedy
@@ -27,17 +28,21 @@ Long soak runs and artifact replay are driven by the CLI::
     python -m repro.conformance replay artifact.json
 """
 
-from .configs import EngineSpec, default_matrix, smoke_matrix
+from .configs import (EngineSpec, census_matrix, default_matrix,
+                      smoke_matrix)
 from .harness import (CaseFailure, ConformanceHarness, HarnessReport,
                       load_artifact, replay_artifact, run_case,
                       save_artifact, shrink_workload)
-from .oracles import OracleFailure, Reference, check_case, compute_reference
+from .oracles import (CensusReference, OracleFailure, Reference, check_case,
+                      check_census_case, compute_census_reference,
+                      compute_reference)
 from .serving import (SERVING_ORACLES, check_driver_report,
                       check_service_run)
 from .workloads import Workload, random_pattern, random_workload
 
 __all__ = [
     "EngineSpec",
+    "census_matrix",
     "default_matrix",
     "smoke_matrix",
     "CaseFailure",
@@ -48,9 +53,12 @@ __all__ = [
     "run_case",
     "save_artifact",
     "shrink_workload",
+    "CensusReference",
     "OracleFailure",
     "Reference",
     "check_case",
+    "check_census_case",
+    "compute_census_reference",
     "compute_reference",
     "SERVING_ORACLES",
     "check_driver_report",

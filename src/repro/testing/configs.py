@@ -29,11 +29,16 @@ from ..core.cache import CACHE_VARIANTS
 from ..core.engine import EngineConfig
 from ..core.stealing import STEALING_MODES
 
-__all__ = ["BASELINE_ENGINES", "PLAN_MODES", "EngineSpec", "baseline_matrix",
-           "default_matrix", "smoke_matrix"]
+__all__ = ["BASELINE_ENGINES", "CENSUS_SIZES", "PLAN_MODES", "EngineSpec",
+           "baseline_matrix", "census_matrix", "default_matrix",
+           "smoke_matrix"]
 
-#: baseline engines the harness can run (HUGE is ``"huge"``)
+#: baseline engines the harness can run (HUGE is ``"huge"``; ``"census"``
+#: is the ESU motif-census workload family)
 BASELINE_ENGINES = ("seed", "bigjoin", "benu", "rads")
+
+#: census subgraph sizes the census workload family fans across
+CENSUS_SIZES = (3, 4, 5)
 
 #: accepted values of :attr:`EngineSpec.plan` for HUGE runs
 PLAN_MODES = ("optimal", "wco", "seed", "benu", "rads", "starjoin")
@@ -54,10 +59,17 @@ class EngineSpec:
     scan_pivot_chunk: int = 16
     two_stage: bool | None = None
     disable_symmetry: bool = False
+    census_k: int | None = None
+    """Subgraph size for ``engine="census"`` specs (ignored otherwise)."""
 
     def __post_init__(self) -> None:
-        if self.engine != "huge" and self.engine not in BASELINE_ENGINES:
+        if self.engine not in ("huge", "census") \
+                and self.engine not in BASELINE_ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}")
+        if self.engine == "census":
+            if self.census_k is None or not 2 <= self.census_k <= 5:
+                raise ValueError(f"census specs need census_k in 2..5, "
+                                 f"got {self.census_k!r}")
         if self.engine == "huge":
             if self.plan not in PLAN_MODES:
                 raise ValueError(f"unknown plan mode {self.plan!r}; "
@@ -73,10 +85,19 @@ class EngineSpec:
         """Whether this spec runs the HUGE engine (vs a baseline)."""
         return self.engine == "huge"
 
+    @property
+    def is_census(self) -> bool:
+        """Whether this spec runs the ESU motif census."""
+        return self.engine == "census"
+
     def supports(self, workload) -> bool:
         """Whether this engine can run ``workload`` at all.  The baseline
         reproductions implement the papers' unlabelled algorithms, so
-        label-constrained patterns are HUGE-only."""
+        label-constrained patterns are HUGE-only.  The census ignores the
+        workload's pattern and labels entirely (it enumerates the data
+        graph), so it supports every workload."""
+        if self.is_census:
+            return True
         if not self.is_huge:
             return workload.pattern_labels is None
         return True
@@ -84,7 +105,8 @@ class EngineSpec:
     def engine_config(self, collect: bool = True) -> EngineConfig:
         """The :class:`~repro.core.engine.EngineConfig` for a HUGE run."""
         if not self.is_huge:
-            raise ValueError(f"{self.name}: baselines take no EngineConfig")
+            raise ValueError(f"{self.name}: only HUGE specs take an "
+                             f"EngineConfig")
         return EngineConfig(
             collect_results=collect,
             cache_variant=self.cache_variant,
@@ -148,7 +170,20 @@ def default_matrix() -> list[EngineSpec]:
         EngineSpec("bigjoin", engine="bigjoin"),
         EngineSpec("benu", engine="benu"),
         EngineSpec("rads", engine="rads"),
+        # -- the ESU motif-census workload family (pattern-independent)
+        *census_matrix(),
     ]
+
+
+def census_matrix() -> list[EngineSpec]:
+    """The census workload family: one ESU motif-census spec per size
+    ``k``.  Census specs ignore the workload's pattern — they enumerate
+    *all* connected k-subgraphs of the workload's data graph and are
+    checked against census-specific oracles (brute-force totals,
+    per-class counts, the automorphism identity, and the canonical-memo
+    once-per-class guarantee)."""
+    return [EngineSpec(f"census-k{k}", engine="census", census_k=k)
+            for k in CENSUS_SIZES]
 
 
 def baseline_matrix() -> list[EngineSpec]:

@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
+from ..apps.mining import motif_census
 from ..baselines import (BenuEngine, BigJoinEngine, RadsEngine, SeedEngine)
 from ..cluster.cluster import Cluster
 from ..core.engine import HugeEngine
@@ -76,8 +77,8 @@ def execute(workload: Workload, spec: EngineSpec,
     """Run one engine on one workload, capturing the oracle observables.
 
     Engine exceptions are captured as the outcome's ``error`` (a crash is
-    a conformance failure, not a harness failure).  ``tracer`` (HUGE specs
-    only) records a span trace of the run for failure artifacts.
+    a conformance failure, not a harness failure).  ``tracer`` (HUGE and
+    census specs) records a span trace of the run for failure artifacts.
     """
     outcome = CaseOutcome(spec_name=spec.name)
     graph = workload.graph()
@@ -87,7 +88,16 @@ def execute(workload: Workload, spec: EngineSpec,
                       seed=workload.partition_seed,
                       labels=workload.label_array())
     try:
-        if spec.is_huge:
+        if spec.is_census:
+            census = motif_census(cluster, spec.census_k, tracer=tracer)
+            outcome.count = census.total_subgraphs
+            outcome.report = census.report
+            outcome.census_total = census.total_subgraphs
+            outcome.census_counts = dict(census.counts)
+            outcome.census_class_keys = dict(census.class_keys)
+            outcome.census_memo_hits = census.memo_hits
+            outcome.census_canon_calls = census.canonical_calls
+        elif spec.is_huge:
             config = spec.engine_config(collect=True)
             engine = HugeEngine(cluster, config,
                                 estimator=SamplingEstimator(
@@ -115,7 +125,9 @@ def run_case(workload: Workload, spec: EngineSpec,
              ref: Reference | None = None) -> CaseOutcome:
     """Execute one case and check every oracle; failures land on the
     returned outcome."""
-    if ref is None:
+    if ref is None and not spec.is_census:
+        # census specs carry their own brute-force reference (computed
+        # inside check_census_case); don't pay for the pattern one
         ref = compute_reference(workload)
     outcome = execute(workload, spec)
     outcome.failures = check_case(workload, spec, outcome, ref)
@@ -354,7 +366,7 @@ class ConformanceHarness:
             import os
 
             trace = None
-            if spec.is_huge:
+            if spec.is_huge or spec.is_census:
                 # re-run the (shrunk) case traced so the artifact carries
                 # the failing run's span timeline
                 from ..obs.trace import Tracer

@@ -22,25 +22,58 @@ the workload/configuration that produced it:
   more than one batch's worth of distinct remote vertices (§4.4);
 * ``time-conservation`` — the report satisfies ``T = T_R + T_C`` and
   ``T = max_m T_m`` exactly (modulo float rounding).
+
+Census specs (``engine="census"``) run a different workload — the ESU
+motif census over the data graph — and are checked against their own
+family of oracles, built on an *independent* brute-force classifier (the
+``itertools.combinations`` sweep plus the O(k!) permutation-minimal
+canonical form the census itself no longer uses):
+
+* ``census-total`` — the census enumerated exactly as many connected
+  k-subgraphs as the combinations sweep finds, and the per-class counts
+  sum to that total;
+* ``census-classes`` — the per-class counts match the brute-force
+  classification class by class (bridged through ``canonical_key``, so a
+  canonicaliser collision merges classes and trips the comparison);
+* ``census-memo`` — the canonical memo's guarantee holds exactly:
+  canonicaliser invocations equal the number of distinct classes seen
+  and every other classification was a memo hit;
+* ``census-automorphism`` — each class's brute-force automorphism count
+  matches :func:`~repro.query.automorphism.automorphism_count`, and
+  (when the graph is small enough to afford the ordered sweep) the
+  per-class labelled-embedding count equals ``census × |Aut|`` — i.e.
+  labelled counts divide by the automorphism order exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import combinations, permutations
+from math import comb, factorial
 
 from ..baselines.reference import (count_ordered_embeddings,
                                    enumerate_matches)
 from ..cluster.metrics import RunReport
 from ..query.automorphism import automorphism_count
+from ..query.pattern import QueryGraph
 from .configs import EngineSpec
 from .workloads import Workload
 
-__all__ = ["ORACLES", "CaseOutcome", "OracleFailure", "Reference",
-           "check_case", "compute_reference"]
+__all__ = ["CENSUS_ORACLES", "ORACLES", "CaseOutcome", "CensusReference",
+           "OracleFailure", "Reference", "check_case", "check_census_case",
+           "compute_census_reference", "compute_reference"]
 
 #: the oracle names, in checking order
 ORACLES = ("error", "count", "embeddings", "symmetry", "memory-bound",
            "cache-overflow", "time-conservation")
+
+#: the census-family oracle names, in checking order
+CENSUS_ORACLES = ("error", "census-total", "census-classes", "census-memo",
+                  "census-automorphism")
+
+#: permutation budget above which the labelled-embedding sweep of the
+#: census reference is skipped (``C(n, k) · k!`` grows fast at k=5)
+_CENSUS_LABELLED_BUDGET = 100_000
 
 #: relative tolerance for simulated-time identities
 _REL_TOL = 1e-9
@@ -83,6 +116,14 @@ class CaseOutcome:
     bytes_per_id: int = 8
     error: str | None = None
     failures: list[OracleFailure] = field(default_factory=list)
+    # census-spec observables (None/0 on pattern-enumeration runs)
+    census_total: int = 0
+    census_counts: dict[str, int] | None = None
+    """Per-class census counts, motif name → count."""
+    census_class_keys: dict[str, str] | None = None
+    """Motif name → production canonical key."""
+    census_memo_hits: int = 0
+    census_canon_calls: int = 0
 
     @property
     def ok(self) -> bool:
@@ -226,8 +267,13 @@ def _check_time_conservation(outcome: CaseOutcome) -> OracleFailure | None:
 
 
 def check_case(workload: Workload, spec: EngineSpec, outcome: CaseOutcome,
-               ref: Reference) -> list[OracleFailure]:
-    """Run every applicable oracle; returns the violations (empty = pass)."""
+               ref: Reference | None) -> list[OracleFailure]:
+    """Run every applicable oracle; returns the violations (empty = pass).
+
+    Census specs are routed to the census oracle family (``ref`` is the
+    pattern-enumeration ground truth and is ignored for them)."""
+    if spec.is_census:
+        return check_census_case(workload, spec, outcome)
     if outcome.error is not None:
         return [OracleFailure("error", outcome.error)]
     failures = []
@@ -242,3 +288,202 @@ def check_case(workload: Workload, spec: EngineSpec, outcome: CaseOutcome,
         if failure is not None:
             failures.append(failure)
     return failures
+
+
+# -- the census family ---------------------------------------------------------
+
+
+#: one isomorphism class in the census reference: its permutation-minimal
+#: edge list, which doubles as a representative pattern on k vertices
+_ClassKey = tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class CensusReference:
+    """Brute-force ground truth for one size-k census workload."""
+
+    k: int
+    total: int
+    """Number of connected k-vertex subsets of the data graph."""
+    counts: dict[_ClassKey, int]
+    """Census count per class, keyed by permutation-minimal edge list."""
+    labelled_counts: dict[_ClassKey, int] | None
+    """Ordered induced embedding count per class (brute-force over all
+    injections), or ``None`` when the sweep exceeded the perm budget."""
+
+
+def _perm_min_edges(k: int, edges: _ClassKey) -> _ClassKey:
+    """Lexicographically smallest relabelling of ``edges`` over all k!
+    permutations — the O(k!) canonical form the census itself no longer
+    uses, kept as the oracles' independent classifier."""
+    best = None
+    for perm in permutations(range(k)):
+        mapped = tuple(sorted(
+            (perm[a], perm[b]) if perm[a] < perm[b] else (perm[b], perm[a])
+            for a, b in edges))
+        if best is None or mapped < best:
+            best = mapped
+    return best
+
+
+def _edges_connected(k: int, edges: _ClassKey) -> bool:
+    """Whether ``edges`` connect all ``k`` local vertices (DFS)."""
+    adj: list[list[int]] = [[] for _ in range(k)]
+    for a, b in edges:
+        adj[a].append(b)
+        adj[b].append(a)
+    seen = {0}
+    stack = [0]
+    while stack:
+        for v in adj[stack.pop()]:
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return len(seen) == k
+
+
+def _map_edges(edges: _ClassKey, perm) -> frozenset:
+    """``edges`` relabelled by ``perm``, as an order-free set."""
+    return frozenset(
+        (perm[a], perm[b]) if perm[a] < perm[b] else (perm[b], perm[a])
+        for a, b in edges)
+
+
+def compute_census_reference(workload: Workload, k: int) -> CensusReference:
+    """Brute-force size-``k`` census of the workload's data graph.
+
+    Sweeps every ``itertools.combinations`` k-subset, keeps the connected
+    ones and classifies each by :func:`_perm_min_edges` — sharing nothing
+    with the ESU walk, the bitset adjacency or the WL+BnB canonicaliser
+    under test.  When ``C(n, k) · k!`` fits the permutation budget it also
+    counts ordered induced embeddings per class (every injective map from
+    the class representative onto a subset), which the automorphism oracle
+    divides back down.
+    """
+    graph = workload.graph()
+    n = graph.num_vertices
+    adj = [frozenset(int(v) for v in graph.neighbours(u)) for u in range(n)]
+    locals_ = list(combinations(range(k), 2))
+    sweep = k <= n and comb(n, k) * factorial(k) <= _CENSUS_LABELLED_BUDGET
+    all_perms = list(permutations(range(k))) if sweep else []
+    counts: dict[_ClassKey, int] = {}
+    labelled: dict[_ClassKey, int] = {}
+    total = 0
+    for combo in combinations(range(n), k):
+        edges = tuple((i, j) for i, j in locals_
+                      if combo[j] in adj[combo[i]])
+        if not _edges_connected(k, edges):
+            continue
+        key = _perm_min_edges(k, edges)
+        counts[key] = counts.get(key, 0) + 1
+        total += 1
+        if sweep:
+            eset = frozenset(edges)
+            labelled[key] = labelled.get(key, 0) + sum(
+                1 for perm in all_perms if _map_edges(key, perm) == eset)
+    return CensusReference(k=k, total=total, counts=counts,
+                           labelled_counts=labelled if sweep else None)
+
+
+def _check_census_total(outcome: CaseOutcome,
+                        ref: CensusReference) -> OracleFailure | None:
+    if outcome.census_total != ref.total:
+        return OracleFailure(
+            "census-total",
+            f"census enumerated {outcome.census_total} connected "
+            f"{ref.k}-subgraphs, brute force finds {ref.total}")
+    if outcome.census_counts is not None \
+            and sum(outcome.census_counts.values()) != outcome.census_total:
+        return OracleFailure(
+            "census-total",
+            f"per-class counts sum to "
+            f"{sum(outcome.census_counts.values())}, not the reported "
+            f"total {outcome.census_total}")
+    return None
+
+
+def _check_census_classes(outcome: CaseOutcome,
+                          ref: CensusReference) -> OracleFailure | None:
+    if outcome.census_counts is None or outcome.census_class_keys is None:
+        return OracleFailure(
+            "census-classes", "census run exposed no per-class counts")
+    key_to_name = {key: name
+                   for name, key in outcome.census_class_keys.items()}
+    expected = dict.fromkeys(outcome.census_counts, 0)
+    for rep, count in ref.counts.items():
+        prod_key = QueryGraph(ref.k, list(rep)).canonical_key()
+        name = key_to_name.get(prod_key)
+        if name is None:
+            return OracleFailure(
+                "census-classes",
+                f"brute-force class {rep} canonicalises to a key unknown "
+                f"to the census ({prod_key!r})")
+        # += so a canonicaliser collision (two brute-force classes landing
+        # on one key) inflates that class and trips the comparison below
+        expected[name] += count
+    diverged = {name: (outcome.census_counts.get(name), want)
+                for name, want in expected.items()
+                if outcome.census_counts.get(name) != want}
+    if diverged:
+        return OracleFailure(
+            "census-classes",
+            f"per-class counts diverge from brute force "
+            f"(got, want): {diverged}")
+    return None
+
+
+def _check_census_memo(outcome: CaseOutcome,
+                       ref: CensusReference) -> OracleFailure | None:
+    classes = len(ref.counts)
+    if outcome.census_canon_calls != classes:
+        return OracleFailure(
+            "census-memo",
+            f"canonicaliser ran {outcome.census_canon_calls} times for "
+            f"{classes} distinct classes (must be exactly once per class)")
+    if outcome.census_memo_hits != ref.total - classes:
+        return OracleFailure(
+            "census-memo",
+            f"{outcome.census_memo_hits} memo hits for {ref.total} "
+            f"subgraphs over {classes} classes; every classification "
+            f"after the first per class must hit")
+    return None
+
+
+def _check_census_automorphism(ref: CensusReference) -> OracleFailure | None:
+    ident = tuple(range(ref.k))
+    for rep, count in ref.counts.items():
+        brute_aut = sum(1 for perm in permutations(ident)
+                        if _map_edges(rep, perm) == frozenset(rep))
+        prod_aut = automorphism_count(QueryGraph(ref.k, list(rep)))
+        if brute_aut != prod_aut:
+            return OracleFailure(
+                "census-automorphism",
+                f"|Aut| mismatch for class {rep}: brute force {brute_aut}, "
+                f"automorphism_count says {prod_aut}")
+        if ref.labelled_counts is None:
+            continue
+        labelled = ref.labelled_counts[rep]
+        if labelled != count * brute_aut:
+            return OracleFailure(
+                "census-automorphism",
+                f"class {rep}: {labelled} labelled embeddings != census "
+                f"{count} × |Aut| {brute_aut} (labelled counts must "
+                f"divide by the automorphism order exactly)")
+    return None
+
+
+def check_census_case(workload: Workload, spec: EngineSpec,
+                      outcome: CaseOutcome,
+                      ref: CensusReference | None = None
+                      ) -> list[OracleFailure]:
+    """Run the census oracle family on one census-spec outcome."""
+    if outcome.error is not None:
+        return [OracleFailure("error", outcome.error)]
+    if ref is None:
+        ref = compute_census_reference(workload, spec.census_k)
+    return [failure for failure in (
+        _check_census_total(outcome, ref),
+        _check_census_classes(outcome, ref),
+        _check_census_memo(outcome, ref),
+        _check_census_automorphism(ref),
+    ) if failure is not None]

@@ -4,8 +4,8 @@ import networkx as nx
 import pytest
 
 from repro.apps import (connected_patterns, count_st_paths,
-                        enumerate_st_paths, frequent_patterns, motif_counts,
-                        shortest_path, shortest_path_lengths)
+                        enumerate_st_paths, frequent_patterns, motif_census,
+                        motif_counts, shortest_path, shortest_path_lengths)
 from repro.cluster import Cluster
 from repro.graph import generators as gen
 
@@ -99,6 +99,9 @@ class TestHopConstrainedPaths:
 
 
 class TestMining:
+    def test_connected_patterns_size2(self):
+        assert len(connected_patterns(2)) == 1  # the single edge
+
     def test_connected_patterns_size3(self):
         pats = connected_patterns(3)
         assert len(pats) == 2  # wedge + triangle
@@ -137,3 +140,29 @@ class TestMining:
     def test_frequent_invalid_size(self, app_cluster):
         with pytest.raises(ValueError):
             frequent_patterns(app_cluster, max_size=1, min_support=1)
+
+    def test_census_triangles_match_networkx(self, app_cluster, nxg):
+        res = motif_census(app_cluster, 3)
+        triangles = sum(nx.triangles(nxg).values()) // 3
+        by_key = {res.class_keys[n]: c for n, c in res.counts.items()}
+        from repro.query import QueryGraph
+
+        tri_key = QueryGraph(3, [(0, 1), (1, 2), (2, 0)]).canonical_key()
+        assert by_key[tri_key] == triangles
+        # non-induced wedge embeddings = induced wedges + 3 per triangle
+        wedge_key = QueryGraph(3, [(0, 1), (1, 2)]).canonical_key()
+        wedges = sum(d * (d - 1) // 2 for _, d in nxg.degree())
+        assert by_key[wedge_key] == wedges - 3 * triangles
+
+    def test_census_vs_motif_counts_relationship(self, app_cluster):
+        """Engine motif counts are non-induced: triangles agree with the
+        census exactly; wedges exceed the induced census count."""
+        census = motif_census(app_cluster, 3)
+        engine = motif_counts(app_cluster, 3)
+        by_name = {n: (census.counts[n], engine[n]) for n in engine}
+        pats = {p.name: p for p in connected_patterns(3)}
+        for name, (induced, non_induced) in by_name.items():
+            if pats[name].num_edges == 3:  # triangle: closed, so equal
+                assert induced == non_induced
+            else:
+                assert non_induced >= induced

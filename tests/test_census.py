@@ -1,0 +1,372 @@
+"""Tests for the size-k motif census: ESU enumeration over bitset
+adjacency, the relabelling-closed canonical memo, and the census
+conformance family.
+
+The ground truth here is a third, test-local implementation (an
+``itertools.combinations`` sweep classified by the lexicographically
+minimal relabelling), independent of both the ESU walk under test and
+the conformance oracles' own reference.
+"""
+
+from itertools import combinations, permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.mining import connected_patterns, motif_census
+from repro.cluster import Cluster
+from repro.core.kernels import adjacency_bitsets, induced_bitrows
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.query import QueryGraph, automorphism_count
+from repro.query.canonical import (MAX_MEMO_VERTICES, CanonicalMemo,
+                                   permute_bitrows)
+from repro.testing import census_matrix, check_census_case, \
+    compute_census_reference, default_matrix, run_case
+from repro.testing.oracles import CaseOutcome
+from repro.testing.strategies import graphs
+from repro.testing.workloads import Workload, random_workload
+
+# -- test-local brute force ----------------------------------------------------
+
+
+def _min_edges(k, edges):
+    """Lexicographically smallest relabelling of a local edge list."""
+    best = None
+    for perm in permutations(range(k)):
+        mapped = tuple(sorted(tuple(sorted((perm[a], perm[b])))
+                              for a, b in edges))
+        if best is None or mapped < best:
+            best = mapped
+    return best
+
+
+def _brute_census(graph, k):
+    """Class (min-edge-list) → count over all connected k-subsets."""
+    adj = [set(int(x) for x in graph.neighbours(u))
+           for u in range(graph.num_vertices)]
+    counts = {}
+    for combo in combinations(range(graph.num_vertices), k):
+        edges = [(i, j) for i, j in combinations(range(k), 2)
+                 if combo[j] in adj[combo[i]]]
+        reach, stack = {0}, [0]
+        while stack:
+            u = stack.pop()
+            for a, b in edges:
+                for x, y in ((a, b), (b, a)):
+                    if x == u and y not in reach:
+                        reach.add(y)
+                        stack.append(y)
+        if len(reach) != k:
+            continue
+        key = _min_edges(k, edges)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _census_by_key(result):
+    """CensusResult per-class counts re-keyed by canonical key."""
+    return {result.class_keys[name]: count
+            for name, count in result.counts.items()}
+
+
+def _cluster(graph, machines=3, workers=2, seed=5):
+    return Cluster(graph, num_machines=machines,
+                   workers_per_machine=workers, seed=seed)
+
+
+def _workload_for(graph, seed=0):
+    """Wrap a bare graph as a (pattern-irrelevant) census workload."""
+    return Workload(num_vertices=graph.num_vertices,
+                    edges=tuple(graph.edges()), labels=None,
+                    pattern_name="triangle", pattern_num_vertices=3,
+                    pattern_edges=((0, 1), (1, 2), (2, 0)),
+                    pattern_labels=None, seed=seed)
+
+
+# -- the canonical memo --------------------------------------------------------
+
+
+class TestCanonicalMemo:
+    def test_agrees_with_canonical_key(self):
+        memo = CanonicalMemo()
+        for pattern in connected_patterns(4):
+            assert memo.key_of(pattern) == pattern.canonical_key()
+
+    def test_relabelled_encodings_all_hit(self):
+        memo = CanonicalMemo()
+        rows = (0b0110, 0b1001, 0b0001, 0b0110)  # a 4-path 2-0-1-3
+        first = memo.key_for(4, rows)
+        for perm in permutations(range(4)):
+            assert memo.key_for(4, permute_bitrows(rows, perm)) == first
+        assert memo.canonical_calls == 1
+        assert memo.hits == 24
+
+    def test_distinct_classes_distinct_keys(self):
+        memo = CanonicalMemo()
+        keys = {memo.key_of(p) for p in connected_patterns(5)}
+        assert len(keys) == 21
+        assert memo.canonical_calls == 21
+        assert memo.classes() == keys
+
+    def test_oversized_subgraph_rejected(self):
+        n = MAX_MEMO_VERTICES + 1
+        with pytest.raises(ValueError):
+            CanonicalMemo().key_for(n, tuple([0] * n))
+
+    def test_labelled_pattern_rejected(self):
+        q = QueryGraph(2, [(0, 1)], labels=[0, 1])
+        with pytest.raises(ValueError):
+            CanonicalMemo().key_of(q)
+
+    def test_stats_surface(self):
+        memo = CanonicalMemo()
+        memo.key_of(QueryGraph(3, [(0, 1), (1, 2)]))
+        memo.key_of(QueryGraph(3, [(0, 2), (2, 1)]))
+        stats = memo.stats()
+        assert stats["canonical_calls"] == 1
+        assert stats["hits"] == 1
+        assert stats["classes"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert memo.lookups == 2
+        # one class closed under relabelling: 3!/|Aut| distinct encodings
+        assert len(memo) == 3
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_relabelling_same_key(self, data):
+        """A relabelled copy always lands on the same class key, and the
+        canonicaliser never runs more often than distinct classes seen."""
+        memo = CanonicalMemo()
+        g = data.draw(graphs(min_vertices=4, max_vertices=8, min_edges=3))
+        masks = adjacency_bitsets(g)
+        k = data.draw(st.integers(min_value=2, max_value=4))
+        vertices = data.draw(st.permutations(range(g.num_vertices))).__iter__()
+        chosen = sorted([next(vertices) for _ in range(k)])
+        rows = induced_bitrows(masks, chosen)
+        key = memo.key_for(k, rows)
+        perm = data.draw(st.permutations(range(k)))
+        assert memo.key_for(k, permute_bitrows(rows, perm)) == key
+        assert memo.canonical_calls <= len(memo.classes())
+        assert memo.canonical_calls == len(memo.classes())
+
+
+# -- census correctness --------------------------------------------------------
+
+
+class TestCensusCorrectness:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return gen.barabasi_albert(48, 3, seed=9)
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_matches_brute_force_per_class(self, graph, k):
+        brute = _brute_census(graph, k)
+        res = motif_census(_cluster(graph), k)
+        assert res.total_subgraphs == sum(brute.values())
+        got = _census_by_key(res)
+        for rep, count in brute.items():
+            key = QueryGraph(k, list(rep)).canonical_key()
+            assert got[key] == count
+        assert sum(got.values()) == res.total_subgraphs
+
+    def test_k5_total_and_class_sum(self):
+        g = gen.barabasi_albert(24, 2, seed=4)
+        brute = _brute_census(g, 5)
+        res = motif_census(_cluster(g), 5)
+        assert res.total_subgraphs == sum(brute.values())
+        assert sum(res.counts.values()) == res.total_subgraphs
+        assert len([c for c in res.counts.values() if c]) == len(brute)
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_automorphism_identity(self, k):
+        """Brute labelled-embedding counts divide by |Aut| exactly:
+        labelled(class) == census(class) × automorphism_count(class)."""
+        g = gen.barabasi_albert(12, 2, seed=8)
+        adj = [set(int(x) for x in g.neighbours(u))
+               for u in range(g.num_vertices)]
+        res = motif_census(_cluster(g), k)
+        for name, count in res.counts.items():
+            pattern = next(p for p in connected_patterns(k)
+                           if p.name == name)
+            eset = {frozenset(e) for e in pattern.edges}
+            labelled = 0
+            for image in permutations(range(g.num_vertices), k):
+                if all((image[b] in adj[image[a]]) == (
+                        frozenset((a, b)) in eset)
+                       for a, b in combinations(range(k), 2)):
+                    labelled += 1
+            aut = automorphism_count(pattern)
+            assert labelled == count * aut
+            assert labelled % aut == 0
+
+    def test_every_class_reported_even_when_absent(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])  # a bare path
+        res = motif_census(_cluster(g, machines=2), 4)
+        assert len(res.counts) == 6
+        assert sorted(res.counts.values()) == [0, 0, 0, 0, 0, 1]
+        path_key = QueryGraph(4, [(0, 1), (1, 2), (2, 3)]).canonical_key()
+        (hit,) = [name for name, c in res.counts.items() if c == 1]
+        assert res.class_keys[hit] == path_key  # the path itself
+
+    def test_graph_smaller_than_k(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        res = motif_census(_cluster(g, machines=2), 5)
+        assert res.total_subgraphs == 0
+        assert res.canonical_calls == 0
+        assert res.memo_hits == 0
+
+    def test_invalid_k(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            motif_census(_cluster(g, machines=1), 1)
+        with pytest.raises(ValueError):
+            motif_census(_cluster(g, machines=1), 6)
+
+    def test_partitioning_invariance(self):
+        """The census is a property of the graph, not the cluster shape."""
+        g = gen.barabasi_albert(40, 2, seed=3)
+        a = motif_census(_cluster(g, machines=2, workers=1, seed=1), 3)
+        b = motif_census(_cluster(g, machines=5, workers=3, seed=13), 3)
+        assert a.counts == b.counts
+        assert a.total_subgraphs == b.total_subgraphs
+
+    def test_simulated_report_is_populated(self):
+        g = gen.barabasi_albert(40, 2, seed=3)
+        res = motif_census(_cluster(g), 3)
+        assert res.report.total_time_s > 0
+        assert res.report.bytes_transferred > 0  # remote rows were pulled
+        assert res.report.mem_underflows == 0
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_census_matches_brute(self, data):
+        g = data.draw(graphs(min_vertices=4, max_vertices=10, min_edges=3))
+        k = data.draw(st.integers(min_value=2, max_value=4))
+        brute = _brute_census(g, k)
+        res = motif_census(_cluster(g, machines=2), k)
+        assert res.total_subgraphs == sum(brute.values())
+        got = _census_by_key(res)
+        assert {QueryGraph(k, list(rep)).canonical_key(): c
+                for rep, c in brute.items()} == \
+            {key: c for key, c in got.items() if c}
+
+
+# -- the once-per-class memo guarantee -----------------------------------------
+
+
+class TestMemoGuarantee:
+    def test_canonicaliser_runs_once_per_class(self, monkeypatch):
+        """Count actual ``QueryGraph.canonical_key`` invocations during a
+        census: exactly one per isomorphism class enumerated."""
+        g = gen.barabasi_albert(40, 3, seed=7)
+        k = 4
+        connected_patterns(k)  # pre-warm the lru caches outside the count
+        motif_census(_cluster(g), k)
+        calls = []
+        real = QueryGraph.canonical_key
+
+        def counted(self):
+            calls.append(self)
+            return real(self)
+
+        monkeypatch.setattr(QueryGraph, "canonical_key", counted)
+        res = motif_census(_cluster(g), k)
+        classes_seen = sum(1 for c in res.counts.values() if c)
+        assert len(calls) == classes_seen
+        assert res.canonical_calls == classes_seen
+        assert res.memo_hits == res.total_subgraphs - classes_seen
+        assert 0 < res.memo_hit_rate < 1
+
+    def test_shared_memo_second_run_all_hits(self):
+        g = gen.barabasi_albert(30, 2, seed=2)
+        memo = CanonicalMemo()
+        first = motif_census(_cluster(g), 3, memo=memo)
+        second = motif_census(_cluster(g), 3, memo=memo)
+        assert first.canonical_calls > 0
+        assert second.canonical_calls == 0  # classes already closed
+        assert second.memo_hits == second.total_subgraphs
+        assert second.counts == first.counts
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_calls_bounded_by_classes(self, seed):
+        w = random_workload(seed, max_vertices=10)
+        memo = CanonicalMemo()
+        res = motif_census(
+            Cluster(w.graph(), num_machines=w.num_machines,
+                    workers_per_machine=w.workers_per_machine,
+                    seed=w.partition_seed), 3, memo=memo)
+        distinct = sum(1 for c in res.counts.values() if c)
+        assert res.canonical_calls == distinct
+        assert memo.canonical_calls <= len(connected_patterns(3))
+
+
+# -- the conformance family ----------------------------------------------------
+
+
+class TestCensusConformance:
+    def test_family_in_full_matrix(self):
+        names = {s.name for s in default_matrix()}
+        assert {"census-k3", "census-k4", "census-k5"} <= names
+
+    @pytest.mark.parametrize("spec", census_matrix(),
+                             ids=lambda s: s.name)
+    def test_specs_pass_on_random_workloads(self, spec):
+        for seed in (11, 12):
+            outcome = run_case(random_workload(seed, max_vertices=11), spec)
+            assert outcome.ok, [str(f) for f in outcome.failures]
+            assert outcome.census_counts is not None
+
+    def test_reference_matches_census(self):
+        g = gen.barabasi_albert(20, 2, seed=6)
+        w = _workload_for(g)
+        ref = compute_census_reference(w, 3)
+        res = motif_census(_cluster(g), 3)
+        assert ref.total == res.total_subgraphs
+        assert ref.labelled_counts is not None
+
+    def test_reference_budget_gates_labelled_sweep(self):
+        g = gen.barabasi_albert(60, 2, seed=6)  # C(60,5)·5! >> budget
+        ref = compute_census_reference(_workload_for(g), 5)
+        assert ref.labelled_counts is None
+        assert ref.total > 0
+
+    def _good_outcome(self, workload, spec):
+        outcome = run_case(workload, spec)
+        assert outcome.ok
+        return outcome
+
+    def test_oracle_catches_wrong_total(self):
+        w = random_workload(21, max_vertices=10)
+        spec = census_matrix()[0]
+        outcome = self._good_outcome(w, spec)
+        outcome.census_total += 1
+        bad = check_census_case(w, spec, outcome)
+        assert any(f.oracle == "census-total" for f in bad)
+
+    def test_oracle_catches_wrong_class_count(self):
+        w = random_workload(21, max_vertices=10)
+        spec = census_matrix()[0]
+        outcome = self._good_outcome(w, spec)
+        name = max(outcome.census_counts, key=outcome.census_counts.get)
+        outcome.census_counts[name] -= 1
+        outcome.census_total -= 1
+        bad = check_census_case(w, spec, outcome)
+        assert any(f.oracle == "census-classes" for f in bad)
+
+    def test_oracle_catches_memo_violation(self):
+        w = random_workload(21, max_vertices=10)
+        spec = census_matrix()[0]
+        outcome = self._good_outcome(w, spec)
+        outcome.census_canon_calls += 1  # "canonicalised twice" somewhere
+        bad = check_census_case(w, spec, outcome)
+        assert any(f.oracle == "census-memo" for f in bad)
+
+    def test_oracle_reports_crash_first(self):
+        w = random_workload(21, max_vertices=10)
+        spec = census_matrix()[0]
+        outcome = CaseOutcome(spec_name=spec.name, error="Boom: crashed")
+        bad = check_census_case(w, spec, outcome)
+        assert [f.oracle for f in bad] == ["error"]
