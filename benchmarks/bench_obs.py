@@ -1,0 +1,120 @@
+"""Observability overhead gate: metrics-on vs metrics-off wall clock.
+
+Runs the hot-path workload (square/q1 on the LJ stand-in, 10 machines)
+twice — once bare, once under a :class:`repro.obs.MetricsTracer`
+aggregating into a registry — and records the wall-clock overhead of
+instrumentation.  The ISSUE's gate is **overhead < 5%**; the record
+carries a ``gate_ok`` flag and the script exits non-zero when the gate
+fails, so CI can enforce it.
+
+Two invariants are asserted, not just recorded:
+
+* the simulated metrics report of the instrumented run is bit-identical
+  to the bare run (instrumentation must never perturb the simulation);
+* the exposition produced from the instrumented run passes
+  ``check_exposition``.
+
+Each run appends one record to ``results/BENCH_obs.json``::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--label after]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import BENCH_SEED, RESULTS_DIR, make_cluster  # noqa: E402
+
+from repro.core import EngineConfig, HugeEngine  # noqa: E402
+from repro.obs import (MetricsRegistry, MetricsTracer, check_exposition,
+                       record_result)  # noqa: E402
+from repro.query import get_query  # noqa: E402
+
+RECORD_PATH = os.path.join(RESULTS_DIR, "BENCH_obs.json")
+
+DATASET, SCALE, QUERY = "LJ", 1.0, "q1"
+REPEATS = 3
+GATE_FRACTION = 0.05
+
+
+def run_once(registry: MetricsRegistry | None) -> tuple[float, object]:
+    cluster = make_cluster(DATASET, num_machines=10, scale=SCALE)
+    engine = HugeEngine(cluster, EngineConfig())
+    query = get_query(QUERY)
+    tracer = MetricsTracer(registry) if registry is not None else None
+    t0 = time.perf_counter()
+    result = engine.run(query, tracer=tracer)
+    return time.perf_counter() - t0, result
+
+
+def bench(label: str) -> dict:
+    walls_off, walls_on = [], []
+    result_off = result_on = None
+    registry = None
+    # interleave off/on runs so drift in machine load hits both sides
+    for _ in range(REPEATS):
+        wall, result_off = run_once(None)
+        walls_off.append(wall)
+        registry = MetricsRegistry()
+        wall, result_on = run_once(registry)
+        walls_on.append(wall)
+
+    off, on = min(walls_off), min(walls_on)
+    overhead = (on - off) / off
+
+    rep_off = result_off.report.as_dict()
+    rep_on = result_on.report.as_dict()
+    if rep_off != rep_on or result_off.count != result_on.count:
+        raise AssertionError(
+            "instrumented run perturbed simulated metrics: "
+            f"count {result_off.count} vs {result_on.count}")
+    record_result(registry, result_on)
+    errors = check_exposition(registry.expose())
+    if errors:
+        raise AssertionError(f"exposition failed self-check: {errors[:3]}")
+
+    return {
+        "label": label,
+        "seed": BENCH_SEED,
+        "workload": f"{QUERY}/{DATASET}@{SCALE}",
+        "matches": result_on.count,
+        "wall_s_off": round(off, 4),
+        "wall_s_on": round(on, 4),
+        "wall_s_off_all": [round(w, 4) for w in walls_off],
+        "wall_s_on_all": [round(w, 4) for w in walls_on],
+        "overhead_pct": round(overhead * 100, 2),
+        "gate_pct": GATE_FRACTION * 100,
+        "gate_ok": overhead < GATE_FRACTION,
+        "sim_identical": True,
+        "metric_families": len(registry.families()),
+        "sim_total_time_s": result_on.report.total_time_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="run",
+                        help="tag for this record (e.g. before/after)")
+    ns = parser.parse_args(argv)
+    record = bench(ns.label)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    trajectory = []
+    if os.path.exists(RECORD_PATH):
+        with open(RECORD_PATH, encoding="utf-8") as f:
+            trajectory = json.load(f)
+    trajectory.append(record)
+    with open(RECORD_PATH, "w", encoding="utf-8") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    print(json.dumps(record, indent=2))
+    return 0 if record["gate_ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,18 @@ Commands
 
         python -m repro serve --data GO --queries 32 --service-workers 4 \\
             --crash 2 --verify --trace serve.json
+
+    ``--metrics FILE`` attaches a labelled metrics registry and writes
+    its Prometheus text exposition; ``--flight FILE`` dumps the
+    per-query flight recorder as JSONL; ``--smoke`` caps the workload
+    for CI and forces ``--verify``.
+
+``metrics``
+    Run an instrumented demo query and dump the metrics exposition (or
+    JSON snapshot), or validate an exposition file::
+
+        python -m repro metrics --data GO --pattern q1
+        python -m repro metrics --check metrics.prom
 """
 
 from __future__ import annotations
@@ -68,10 +80,24 @@ def _load_graph(spec: str, scale: float):
     return load_edge_list(spec)
 
 
+def _write_exposition(registry, dest: str) -> None:
+    """Write Prometheus text exposition to a file (or stdout for ``-``)."""
+    text = registry.expose()
+    if dest == "-":
+        sys.stdout.write(text)
+    else:
+        with open(dest, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        # stderr so that --json stdout stays machine-parseable
+        print(f"metrics exposition written to {dest} "
+              f"({len(registry.families())} families)", file=sys.stderr)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    if args.cypher and (args.trace or args.json):
-        print("error: --trace/--json are not supported with --cypher",
-              file=sys.stderr)
+    if args.cypher and (args.trace or args.json
+                        or getattr(args, "metrics", None)):
+        print("error: --trace/--json/--metrics are not supported with "
+              "--cypher", file=sys.stderr)
         return 2
     graph = _load_graph(args.data, args.scale)
     cluster = Cluster(graph, num_machines=args.machines,
@@ -92,17 +118,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
         engine = HugeEngine(cluster,
                             EngineConfig(collect_results=args.show > 0))
         tracer = None
+        registry = None
         if args.trace:
             from .obs.trace import Tracer
 
             tracer = Tracer()
+        if getattr(args, "metrics", None):
+            from .obs import MetricsRegistry, MetricsTracer
+
+            registry = MetricsRegistry()
+            tracer = MetricsTracer(registry, inner=tracer)
         res = engine.run(get_query(args.pattern), tracer=tracer)
+        if registry is not None:
+            from .obs import record_result
+
+            record_result(registry, res)
         if args.trace:
             res.trace.save(args.trace)
         if args.json:
             import json
 
             print(json.dumps(res.as_dict(), indent=2))
+            if registry is not None:
+                _write_exposition(registry, args.metrics)
             return 0
         print(f"matches: {res.count}")
         if args.show:
@@ -120,6 +158,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
           f"comm {report.comm_time_s:.4f}s)")
     print(f"transferred: {report.bytes_transferred / 1e6:.2f} MB; "
           f"peak machine memory: {report.peak_memory_bytes / 1e6:.2f} MB")
+    if not args.cypher and getattr(args, "metrics", None):
+        _write_exposition(registry, args.metrics)
     return 0
 
 
@@ -179,17 +219,29 @@ def _cmd_census(args: argparse.Namespace) -> int:
     cluster = Cluster(graph, num_machines=args.machines,
                       workers_per_machine=args.workers, seed=args.seed)
     tracer = None
+    registry = None
     if args.trace:
         from .obs.trace import Tracer
 
         tracer = Tracer()
+    if args.metrics:
+        from .obs import MetricsRegistry, MetricsTracer
+
+        registry = MetricsRegistry()
+        tracer = MetricsTracer(registry, inner=tracer)
     res = motif_census(cluster, args.k, tracer=tracer)
+    if registry is not None:
+        from .obs import record_census
+
+        record_census(registry, res)
     if args.trace:
         tracer.trace.save(args.trace)
     if args.json:
         import json
 
         print(json.dumps(res.as_dict(), indent=2))
+        if registry is not None:
+            _write_exposition(registry, args.metrics)
         return 0
     print(f"data graph: {graph}")
     print(f"size-{args.k} census: {res.total_subgraphs:,} connected "
@@ -207,12 +259,19 @@ def _cmd_census(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"trace written to {args.trace} "
               f"(load in https://ui.perfetto.dev)")
+    if registry is not None:
+        _write_exposition(registry, args.metrics)
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import LoadDriver, WorkloadSpec
 
+    if args.smoke:
+        # reduced workload for CI: few queries, small pool, verification on
+        args.queries = min(args.queries, 8)
+        args.service_workers = min(args.service_workers, 2)
+        args.verify = True
     graph = _load_graph(args.data, args.scale)
     spec = WorkloadSpec(
         num_queries=args.queries, dataset=args.data.upper(),
@@ -221,11 +280,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed, relabel_fraction=args.relabel_fraction,
         deadline_fraction=args.deadline_fraction, deadline_s=args.deadline,
         tenants=tuple(args.tenants.split(",")), crashes=args.crash)
+    registry = None
+    flight = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    if args.metrics or args.flight:
+        from .obs import FlightRecorder
+
+        flight = FlightRecorder()
     driver = LoadDriver(
         graph, spec, num_workers=args.service_workers,
         memory_budget_bytes=(args.budget_mb * 1e6 if args.budget_mb
                              else float("inf")),
-        tenant_max_inflight=args.tenant_cap, trace=bool(args.trace))
+        tenant_max_inflight=args.tenant_cap, trace=bool(args.trace),
+        metrics=registry, flight=flight)
     report = driver.run(verify=args.verify)
     if args.trace and driver.service and driver.service.tracer:
         driver.service.tracer.save(
@@ -235,7 +305,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         import json
 
         print(json.dumps(report.as_dict(), indent=2))
-        return 0
+        if args.flight and flight is not None:
+            flight.dump(args.flight)
+        if registry is not None:
+            _write_exposition(registry, args.metrics)
+        return 0 if (not args.verify or report.verified) else 1
 
     svc = report.service
     print(f"data graph: {graph}")
@@ -263,6 +337,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"trace written to {args.trace} "
               f"(load in https://ui.perfetto.dev)")
+    if flight is not None:
+        fs = flight.stats()
+        print(f"flight recorder: {fs['retained']} flights retained "
+              f"({fs['dropped']} dropped), {fs['slow_queries']} slow, "
+              f"{fs['crash_dumps']} crash dumps")
+        if args.flight:
+            flight.dump(args.flight)
+            print(f"flight log written to {args.flight}")
+    if registry is not None:
+        _write_exposition(registry, args.metrics)
     if args.verify:
         if report.verified:
             print("verify: all completed queries bit-identical to solo runs")
@@ -271,6 +355,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for msg in report.verify_failures:
                 print(f"  {msg}")
             return 1
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import check_exposition
+
+    if args.check:
+        if args.check == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.check, encoding="utf-8") as fh:
+                text = fh.read()
+        errors = check_exposition(text)
+        if errors:
+            print(f"exposition INVALID ({len(errors)} errors):")
+            for err in errors:
+                print(f"  {err}")
+            return 1
+        samples = sum(1 for line in text.splitlines()
+                      if line and not line.startswith("#"))
+        families = sum(1 for line in text.splitlines()
+                       if line.startswith("# TYPE "))
+        print(f"exposition ok: {families} families, {samples} samples")
+        return 0
+
+    from .obs import MetricsRegistry, MetricsTracer, record_result
+
+    graph = _load_graph(args.data, args.scale)
+    cluster = Cluster(graph, num_machines=args.machines,
+                      workers_per_machine=args.workers, seed=args.seed)
+    engine = HugeEngine(cluster)
+    registry = MetricsRegistry()
+    res = engine.run(get_query(args.pattern),
+                     tracer=MetricsTracer(registry))
+    record_result(registry, res)
+    errors = check_exposition(registry.expose())
+    if errors:
+        print("internal error: exposition failed self-check",
+              file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps(registry.snapshot(), indent=2))
+    else:
+        _write_exposition(registry, args.out)
     return 0
 
 
@@ -306,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "JSON (open in Perfetto) to FILE")
     q.add_argument("--json", action="store_true",
                    help="print the result as JSON instead of text")
+    q.add_argument("--metrics", metavar="FILE",
+                   help="aggregate engine metrics into a registry and write "
+                        "the Prometheus text exposition to FILE ('-' for "
+                        "stdout)")
     q.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("plan", help="show the Algorithm-1 plan")
@@ -344,6 +480,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "JSON (open in Perfetto) to FILE")
     n.add_argument("--json", action="store_true",
                    help="print the census result as JSON instead of text")
+    n.add_argument("--metrics", metavar="FILE",
+                   help="write census metrics as Prometheus text exposition "
+                        "to FILE ('-' for stdout)")
     n.set_defaults(func=_cmd_census)
 
     s = sub.add_parser("serve",
@@ -379,7 +518,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a wall-clock Chrome trace of the service run")
     s.add_argument("--json", action="store_true",
                    help="print the full driver report as JSON")
+    s.add_argument("--metrics", metavar="FILE",
+                   help="instrument the service with a metrics registry and "
+                        "write the Prometheus exposition to FILE ('-' for "
+                        "stdout)")
+    s.add_argument("--flight", metavar="FILE",
+                   help="dump the per-query flight recorder as JSONL to FILE")
+    s.add_argument("--smoke", action="store_true",
+                   help="CI smoke mode: cap the workload at 8 queries / 2 "
+                        "workers and force --verify")
     s.set_defaults(func=_cmd_serve)
+
+    mt = sub.add_parser("metrics",
+                        help="run an instrumented demo query and dump the "
+                             "metrics exposition, or --check FILE to "
+                             "validate one")
+    mt.add_argument("--check", metavar="FILE",
+                    help="validate a Prometheus text exposition file "
+                         "('-' for stdin); exits 1 on format errors")
+    mt.add_argument("--data", default="GO",
+                    help="dataset for the demo query (default GO)")
+    mt.add_argument("--pattern", default="q1", choices=sorted(QUERIES))
+    mt.add_argument("--machines", type=int, default=4)
+    mt.add_argument("--workers", type=int, default=4)
+    mt.add_argument("--scale", type=float, default=1.0)
+    mt.add_argument("--seed", type=int, default=0)
+    mt.add_argument("--out", metavar="FILE", default="-",
+                    help="write the exposition to FILE (default stdout)")
+    mt.add_argument("--json", action="store_true",
+                    help="print the JSON snapshot instead of the text "
+                         "exposition")
+    mt.set_defaults(func=_cmd_metrics)
 
     c = sub.add_parser("conformance",
                        help="differential conformance harness "

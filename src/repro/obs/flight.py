@@ -1,0 +1,238 @@
+"""Per-query flight recorder: bounded event rings, slow-query log,
+dump-on-crash.
+
+Aggregate metrics (:mod:`repro.obs.metrics`) answer "how is the service
+doing?"; the flight recorder answers "why was *this* query slow?" after
+the fact.  Every request owns a :class:`QueryFlight` — a short structured
+event list (admission → queue → dispatch → plan → execute → stream →
+terminal, plus crash/retry/cancel instants) timestamped on the service's
+wall clock.  Completed flights are retained in a bounded ring
+(deterministic oldest-first drop, a ``dropped`` counter preserved), so a
+long-running service holds a fixed-size black box of its recent history.
+
+Two capture paths survive the ring:
+
+* **slow-query log** — a query whose end-to-end latency exceeds
+  ``deadline_fraction`` of its deadline (or an absolute
+  ``slow_threshold_s``) has its full span breakdown (queue wait / plan /
+  execute / stream and every raw event) copied into a bounded
+  ``slow_queries`` list at completion time.
+* **dump-on-crash** — a worker crash snapshots the victim query's
+  events-so-far into ``crash_dumps`` immediately, so the flight survives
+  even if the retry later completes (or the ring wraps).
+
+Export is JSONL — one JSON object per event with the owning query's
+``seq``/``label`` inlined — via :meth:`FlightRecorder.dump`.
+
+The recorder is thread-safe and purely observational: it never touches
+request state, the admission ledger, or the simulated cost model.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["FlightEvent", "QueryFlight", "FlightRecorder"]
+
+
+@dataclass
+class FlightEvent:
+    """One structured event on a query's timeline (wall-clock seconds
+    since the recorder's epoch)."""
+
+    ts: float
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"ts": self.ts, "kind": self.kind, **self.data}
+
+
+@dataclass
+class QueryFlight:
+    """The recorded lifecycle of one request."""
+
+    seq: int
+    label: str
+    tenant: str = "default"
+    deadline_s: float | None = None
+    status: str | None = None
+    events: list[FlightEvent] = field(default_factory=list)
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Span breakdown derived from event timestamps: time between
+        consecutive lifecycle events, keyed ``<from>→<to>``-style by the
+        phase that elapsed (``queued``, ``plan``, ``execute``, ...)."""
+        out: dict[str, float] = {}
+        prev: FlightEvent | None = None
+        for ev in self.events:
+            if prev is not None:
+                # the gap *ending* at this event belongs to the phase the
+                # query was in since the previous event
+                out[prev.kind] = out.get(prev.kind, 0.0) + (ev.ts - prev.ts)
+            prev = ev
+        return out
+
+    @property
+    def total_s(self) -> float:
+        if len(self.events) < 2:
+            return 0.0
+        return self.events[-1].ts - self.events[0].ts
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "label": self.label,
+            "tenant": self.tenant,
+            "deadline_s": self.deadline_s,
+            "status": self.status,
+            "total_s": self.total_s,
+            "phases": self.phase_seconds(),
+            "events": [e.as_dict() for e in self.events],
+        }
+
+
+class FlightRecorder:
+    """Bounded per-query event recorder for the serving tier."""
+
+    def __init__(self, capacity: int = 256,
+                 slow_log_capacity: int = 64,
+                 crash_dump_capacity: int = 64,
+                 deadline_fraction: float = 0.8,
+                 slow_threshold_s: float | None = None,
+                 clock: Callable[[], float] | None = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 < deadline_fraction:
+            raise ValueError("deadline_fraction must be positive")
+        self.capacity = capacity
+        self.slow_log_capacity = slow_log_capacity
+        self.crash_dump_capacity = crash_dump_capacity
+        self.deadline_fraction = deadline_fraction
+        self.slow_threshold_s = slow_threshold_s
+        self._clock = clock or time.perf_counter
+        self._t0 = self._clock()
+        self._lock = threading.Lock()
+        #: live (in-progress) flights, keyed by request seq
+        self._active: dict[int, QueryFlight] = {}
+        #: completed flights, oldest first (the bounded ring)
+        self._done: OrderedDict[int, QueryFlight] = OrderedDict()
+        self.dropped = 0
+        self.slow_queries: list[dict[str, Any]] = []
+        self.slow_dropped = 0
+        self.crash_dumps: list[dict[str, Any]] = []
+        self.crash_dropped = 0
+
+    def now(self) -> float:
+        """Seconds since the recorder's epoch."""
+        return self._clock() - self._t0
+
+    # -- recording -------------------------------------------------------------
+
+    def begin(self, seq: int, label: str, tenant: str = "default",
+              deadline_s: float | None = None,
+              **data: Any) -> None:
+        """Open a flight for request ``seq`` with an ``admitted`` event."""
+        flight = QueryFlight(seq=seq, label=label, tenant=tenant,
+                             deadline_s=deadline_s)
+        flight.events.append(FlightEvent(self.now(), "admitted", dict(data)))
+        with self._lock:
+            self._active[seq] = flight
+
+    def event(self, seq: int, kind: str, **data: Any) -> None:
+        """Append one event to an open flight (unknown seq is a no-op —
+        recording must never throw into the service's control flow)."""
+        ts = self.now()
+        with self._lock:
+            flight = self._active.get(seq)
+            if flight is not None:
+                flight.events.append(FlightEvent(ts, kind, dict(data)))
+
+    def crash(self, seq: int, **data: Any) -> None:
+        """Record a worker crash and snapshot the flight immediately."""
+        self.event(seq, "crash", **data)
+        with self._lock:
+            flight = self._active.get(seq)
+            if flight is None:
+                return
+            if len(self.crash_dumps) >= self.crash_dump_capacity:
+                self.crash_dumps.pop(0)
+                self.crash_dropped += 1
+            self.crash_dumps.append(flight.as_dict())
+
+    def finish(self, seq: int, status: str, **data: Any) -> None:
+        """Close a flight: terminal event, ring insertion, slow-query
+        capture."""
+        ts = self.now()
+        with self._lock:
+            flight = self._active.pop(seq, None)
+            if flight is None:
+                return
+            flight.status = status
+            flight.events.append(FlightEvent(ts, status, dict(data)))
+            self._done[seq] = flight
+            while len(self._done) > self.capacity:
+                self._done.popitem(last=False)
+                self.dropped += 1
+            threshold = self.slow_threshold_s
+            if flight.deadline_s is not None:
+                frac = self.deadline_fraction * flight.deadline_s
+                threshold = frac if threshold is None else min(threshold,
+                                                               frac)
+            if threshold is not None and flight.total_s >= threshold:
+                if len(self.slow_queries) >= self.slow_log_capacity:
+                    self.slow_queries.pop(0)
+                    self.slow_dropped += 1
+                record = flight.as_dict()
+                record["slow_threshold_s"] = threshold
+                self.slow_queries.append(record)
+
+    # -- introspection ---------------------------------------------------------
+
+    def get(self, seq: int) -> QueryFlight | None:
+        """The flight for ``seq`` (active or retained), if any."""
+        with self._lock:
+            return self._active.get(seq) or self._done.get(seq)
+
+    def flights(self) -> list[QueryFlight]:
+        """Retained completed flights, oldest first."""
+        with self._lock:
+            return list(self._done.values())
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "active": len(self._active),
+                "retained": len(self._done),
+                "dropped": self.dropped,
+                "slow_queries": len(self.slow_queries),
+                "slow_dropped": self.slow_dropped,
+                "crash_dumps": len(self.crash_dumps),
+                "crash_dropped": self.crash_dropped,
+            }
+
+    # -- export ----------------------------------------------------------------
+
+    def iter_jsonl(self) -> Iterator[str]:
+        """One JSON line per event of every retained (then active) flight."""
+        with self._lock:
+            flights = list(self._done.values()) + list(self._active.values())
+        for flight in flights:
+            for ev in flight.events:
+                rec = {"seq": flight.seq, "label": flight.label,
+                       "tenant": flight.tenant, **ev.as_dict()}
+                yield json.dumps(rec, sort_keys=True)
+
+    def dump(self, path: str) -> int:
+        """Write the JSONL ring to ``path``; returns the line count."""
+        n = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.iter_jsonl():
+                fh.write(line + "\n")
+                n += 1
+        return n

@@ -28,6 +28,7 @@ processes, spans to complete events on the machine's track.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -80,19 +81,59 @@ class CounterEvent:
 
 
 class Trace:
-    """The recorded events of one engine run, plus aggregation helpers."""
+    """The recorded events of one engine run, plus aggregation helpers.
 
-    def __init__(self, num_machines: int = 0):
+    ``max_events`` bounds total retained events: once exceeded, the
+    **oldest event (in append order) is dropped first**, deterministically,
+    and counted in :attr:`dropped_events` (exported in ``to_chrome``
+    metadata).  Long serving runs pass a cap so ``--trace`` memory cannot
+    grow without limit; engine runs default to unbounded.
+    """
+
+    def __init__(self, num_machines: int = 0,
+                 max_events: int | None = None):
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1")
         self.num_machines = num_machines
-        self.spans: list[SpanEvent] = []
-        self.instants: list[InstantEvent] = []
-        self.counters: list[CounterEvent] = []
+        self.max_events = max_events
+        self.dropped_events = 0
+        self.spans: deque[SpanEvent] = deque()
+        self.instants: deque[InstantEvent] = deque()
+        self.counters: deque[CounterEvent] = deque()
+        #: append order of events (0=span, 1=instant, 2=counter) so the
+        #: cap drops strictly oldest-first across the three streams
+        self._order: deque[int] = deque()
         #: operator declarations: opid -> {"kind", "schema", ...}
         self.operators: dict[str, dict[str, Any]] = {}
         self.meta: dict[str, Any] = {}
 
     def __len__(self) -> int:
         return len(self.spans) + len(self.instants) + len(self.counters)
+
+    # -- recording -------------------------------------------------------------
+
+    def _enforce_cap(self) -> None:
+        if self.max_events is None:
+            return
+        while len(self._order) > self.max_events:
+            kind = self._order.popleft()
+            (self.spans, self.instants, self.counters)[kind].popleft()
+            self.dropped_events += 1
+
+    def add_span(self, span: SpanEvent) -> None:
+        self.spans.append(span)
+        self._order.append(0)
+        self._enforce_cap()
+
+    def add_instant(self, instant: InstantEvent) -> None:
+        self.instants.append(instant)
+        self._order.append(1)
+        self._enforce_cap()
+
+    def add_counter(self, counter: CounterEvent) -> None:
+        self.counters.append(counter)
+        self._order.append(2)
+        self._enforce_cap()
 
     # -- aggregation -----------------------------------------------------------
 
@@ -221,6 +262,7 @@ class Trace:
                            "args": dict(c.values)})
         other = dict(self.meta)
         other["operators"] = self.operators
+        other["dropped_events"] = self.dropped_events
         return {"traceEvents": events, "displayTimeUnit": "ms",
                 "otherData": other}
 
@@ -267,8 +309,8 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self) -> None:
-        self.trace = Trace()
+    def __init__(self, max_events: int | None = None) -> None:
+        self.trace = Trace(max_events=max_events)
         self._metrics = None
 
     def bind(self, metrics) -> None:
@@ -300,18 +342,18 @@ class Tracer:
     def complete(self, name: str, machine: int, t0: float, t1: float,
                  args: Mapping[str, Any] | None = None) -> None:
         """Record a completed span with explicit bounds."""
-        self.trace.spans.append(SpanEvent(name, machine, t0, t1, args))
+        self.trace.add_span(SpanEvent(name, machine, t0, t1, args))
 
     def instant(self, name: str, machine: int,
                 args: Mapping[str, Any] | None = None) -> None:
         """Record a point event at the machine's current time."""
-        self.trace.instants.append(
+        self.trace.add_instant(
             InstantEvent(name, machine, self.now(machine), args))
 
     def counter(self, name: str, machine: int,
                 values: Mapping[str, float]) -> None:
         """Record a counter sample at the machine's current time."""
-        self.trace.counters.append(
+        self.trace.add_counter(
             CounterEvent(name, machine, self.now(machine), dict(values)))
 
     def declare_operator(self, opid: str, kind: str,

@@ -14,12 +14,16 @@ A long-running serving tier on top of :class:`~repro.core.engine.HugeEngine`:
   cancellation and crash-retry fault tolerance;
 * **load driving** (:mod:`.driver`) — seeded workloads with solo-run
   verification;
-* **observability** (:mod:`.stats`, :mod:`.tracing`) — latency
-  percentiles and wall-clock Chrome traces.
+* **observability** (:mod:`.stats`, :mod:`.tracing`,
+  :mod:`.instruments`) — latency percentiles, wall-clock Chrome traces,
+  and labelled registry metrics (admission/queue/plan-cache/crash
+  counters, latency histograms) plus the per-query flight recorder from
+  :mod:`repro.obs.flight`.
 """
 
 from .admission import AdmissionController, AdmissionStats, estimate_query_bytes
 from .driver import DriverReport, LoadDriver, WorkloadSpec
+from .instruments import ServiceInstruments
 from .plancache import PlanCache, PlanCacheStats
 from .queueing import PRIORITY_WEIGHTS, MultiQueue, QueueEntry
 from .request import (Priority, QueryHandle, QueryOutcome, QueryRequest,
@@ -39,5 +43,5 @@ __all__ = [
     "Executor", "FaultInjector", "QueryService", "WorkerCrashError",
     "run_query_solo",
     "LatencyRecorder", "ServiceStats", "percentile",
-    "ServiceTracer",
+    "ServiceInstruments", "ServiceTracer",
 ]

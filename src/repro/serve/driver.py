@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 
 from ..core.engine import EngineConfig
 from ..graph.graph import Graph
+from ..obs.flight import FlightRecorder
+from ..obs.metrics import MetricsRegistry
 from ..query.pattern import QueryGraph, get_query
 from .request import Priority, QueryRequest, QueryStatus
 from .service import FaultInjector, QueryService, run_query_solo
@@ -124,7 +126,10 @@ class LoadDriver:
                  memory_budget_bytes: float = float("inf"),
                  default_config: EngineConfig | None = None,
                  tenant_max_inflight: int | None = None,
-                 trace: bool = False):
+                 trace: bool = False,
+                 trace_max_events: int | None = 500_000,
+                 metrics: MetricsRegistry | None = None,
+                 flight: FlightRecorder | None = None):
         self.graph = graph
         self.spec = spec
         self.num_workers = num_workers
@@ -132,6 +137,11 @@ class LoadDriver:
         self.default_config = default_config
         self.tenant_max_inflight = tenant_max_inflight
         self.trace = trace
+        #: driver traces are bounded by default: a long workload must not
+        #: grow the span ring without limit (oldest events drop, counted)
+        self.trace_max_events = trace_max_events
+        self.metrics = metrics
+        self.flight = flight
         self.service: QueryService | None = None
 
     def run(self, verify: bool = False,
@@ -149,7 +159,9 @@ class LoadDriver:
             memory_budget_bytes=self.memory_budget_bytes,
             default_config=self.default_config,
             tenant_max_inflight=self.tenant_max_inflight,
-            injector=injector, trace=self.trace)
+            injector=injector, trace=self.trace,
+            trace_max_events=self.trace_max_events,
+            metrics=self.metrics, flight=self.flight)
         self.service = service
         t0 = time.perf_counter()
         with service:

@@ -1,0 +1,75 @@
+"""Registry instrumentation for the serving tier.
+
+One :class:`ServiceInstruments` per :class:`~repro.serve.service.QueryService`
+holds the pre-resolved metric handles the service's hot paths update —
+admission decisions by reason, per-priority queue depth, plan-cache
+outcomes, per-tenant submit/complete counters, worker crashes and
+retries, and the three wall-clock latency histograms.  The latency
+histograms double as the backing store of the service's
+:class:`~repro.serve.stats.LatencyRecorder`\\ s, so the ``snapshot()``
+percentile dicts and the Prometheus exposition report the same samples.
+
+Everything here is observational: a service constructed without a
+registry takes none of these code paths and behaves byte-identically to
+one built before this module existed.
+"""
+
+from __future__ import annotations
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["ServiceInstruments"]
+
+
+class ServiceInstruments:
+    """Pre-resolved metric handles for one service instance."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.submitted = registry.counter(
+            "serve_submitted_total", "requests submitted", ("tenant",))
+        self.completed = registry.counter(
+            "serve_completed_total", "requests completed", ("tenant",))
+        self.requests = registry.counter(
+            "serve_requests_total", "terminal request outcomes", ("status",))
+        self.admission = registry.counter(
+            "serve_admission_total", "admission decisions",
+            ("decision", "reason"))
+        self.queue_depth = registry.gauge(
+            "serve_queue_depth", "queued requests per priority class",
+            ("priority",))
+        self.inflight = registry.gauge(
+            "serve_inflight", "requests currently executing")
+        self.reserved_bytes = registry.gauge(
+            "serve_reserved_bytes", "admission ledger reservation")
+        self.plan_cache = registry.counter(
+            "serve_plan_cache_total", "canonical plan-cache lookups",
+            ("result",))
+        self.crashes = registry.counter(
+            "serve_worker_crashes_total", "worker threads lost mid-query")
+        self.retries = registry.counter(
+            "serve_retries_total", "crash-recovery requeues")
+        self.deadline_missed = registry.counter(
+            "serve_deadline_missed_total",
+            "requests cancelled for missing their deadline")
+        self.latency = registry.histogram(
+            "serve_latency_seconds", "end-to-end request latency",
+            time_base="wall", reservoir=10_000)
+        self.queue_wait = registry.histogram(
+            "serve_queue_wait_seconds", "submit-to-dispatch wait",
+            time_base="wall", reservoir=10_000)
+        self.execute = registry.histogram(
+            "serve_execute_seconds", "dispatch-to-completion execution time",
+            time_base="wall", reservoir=10_000)
+
+    def observe_queue_depths(self, depths: dict[str, int]) -> None:
+        for priority, depth in depths.items():
+            self.queue_depth.set_child(self.queue_depth.labels(priority),
+                                       depth)
+
+    def admission_decision(self, decision: str, reason: str) -> None:
+        self.admission.inc_child(self.admission.labels(decision, reason))
+
+    def plan_cache_lookup(self, hit: bool) -> None:
+        self.plan_cache.inc_child(
+            self.plan_cache.labels("hit" if hit else "miss"))

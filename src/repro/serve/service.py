@@ -46,8 +46,11 @@ from ..cluster.errors import QueryCancelledError, ReproError
 from ..core.cancel import CancelToken
 from ..core.engine import EngineConfig, EnumerationResult, HugeEngine
 from ..graph.graph import Graph
+from ..obs.flight import FlightRecorder
+from ..obs.metrics import MetricsRegistry
 from ..query.pattern import QueryGraph, get_query
 from .admission import AdmissionController, estimate_query_bytes
+from .instruments import ServiceInstruments
 from .plancache import PlanCache
 from .queueing import MultiQueue, QueueEntry
 from .request import (Priority, QueryHandle, QueryOutcome, QueryRequest,
@@ -280,6 +283,9 @@ class QueryService:
                  backoff_cap_s: float = 2.0,
                  injector: FaultInjector | None = None,
                  trace: bool = False,
+                 trace_max_events: int | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 flight: FlightRecorder | None = None,
                  poll_interval_s: float = 0.005):
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -294,7 +300,12 @@ class QueryService:
         self.plan_cache = PlanCache(plan_cache_capacity)
         self.admission = AdmissionController(memory_budget_bytes)
         self.tracer: ServiceTracer | None = (
-            ServiceTracer(num_workers) if trace else None)
+            ServiceTracer(num_workers, max_events=trace_max_events)
+            if trace else None)
+        self.metrics = metrics
+        self.obs: ServiceInstruments | None = (
+            ServiceInstruments(metrics) if metrics is not None else None)
+        self.flight = flight
 
         self._graphs: dict[str, Graph] = dict(datasets or {})
         self._queue = MultiQueue()
@@ -318,9 +329,15 @@ class QueryService:
             "rejected": 0, "retries": 0, "worker_crashes": 0,
             "delivery_violations": 0,
         }
-        self._latency = LatencyRecorder()
-        self._queue_wait = LatencyRecorder()
-        self._execute = LatencyRecorder()
+        # when a registry is attached, the recorders share its histograms:
+        # snapshot percentiles and the exposition report the same samples
+        obs = self.obs
+        self._latency = LatencyRecorder(histogram=obs.latency if obs
+                                        else None)
+        self._queue_wait = LatencyRecorder(histogram=obs.queue_wait if obs
+                                           else None)
+        self._execute = LatencyRecorder(histogram=obs.execute if obs
+                                        else None)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -425,11 +442,28 @@ class QueryService:
         entry.pattern = pattern
         entry.graph = graph
 
+        if self.flight is not None:
+            self.flight.begin(request.seq, request.label,
+                              tenant=request.tenant,
+                              deadline_s=request.deadline_s,
+                              estimate_bytes=estimate,
+                              priority=request.priority.name)
+        if self.obs is not None:
+            self.obs.submitted.inc_child(
+                self.obs.submitted.labels(request.tenant))
         with self._cond:
             self._counters["submitted"] += 1
             if not self.admission.admissible(estimate):
                 self.admission.stats.rejected += 1
                 self._counters["rejected"] += 1
+                if self.obs is not None:
+                    self.obs.admission_decision("reject", "memory_bound")
+                    self.obs.requests.inc_child(
+                        self.obs.requests.labels("rejected"))
+                if self.flight is not None:
+                    self.flight.finish(request.seq, "rejected",
+                                       reason="memory_bound",
+                                       estimate_bytes=estimate)
                 handle._finish(QueryOutcome(
                     status=QueryStatus.REJECTED,
                     error=(f"memory bound {estimate:.3g}B exceeds the "
@@ -444,10 +478,17 @@ class QueryService:
             handle._set_status(QueryStatus.QUEUED)
             self._entries[request.seq] = entry
             self._queue.push(entry)
+            depths = self._queue.depths() if (self.tracer or self.obs) \
+                else None
             if self.tracer:
-                self.tracer.counter("queue depth", ENGINE,
-                                    self._queue.depths())
+                self.tracer.counter("queue depth", ENGINE, depths)
             self._cond.notify_all()
+        if self.obs is not None:
+            self.obs.admission_decision("accept", "fits")
+            self.obs.observe_queue_depths(depths)
+        if self.flight is not None:
+            self.flight.event(request.seq, "queued",
+                              priority=request.priority.name)
         return handle
 
     def _cancel(self, handle: QueryHandle, reason: str) -> None:
@@ -527,6 +568,15 @@ class QueryService:
                 self.tracer.counter(
                     "reserved MB", ENGINE,
                     {"reserved": self.admission.reserved_bytes / 1e6})
+            if self.obs is not None:
+                with self._cond:
+                    self.obs.inflight.set(len(self._inflight))
+                    self.obs.observe_queue_depths(self._queue.depths())
+                self.obs.reserved_bytes.set(self.admission.reserved_bytes)
+            if self.flight is not None:
+                self.flight.event(req.seq, "dispatched",
+                                  attempt=entry.attempts,
+                                  queue_wait_s=now - entry.submit_t)
             self._ready.put(entry)
 
     def _sweep_queue(self) -> None:
@@ -570,7 +620,13 @@ class QueryService:
             fresh.start()
             with self._cond:
                 self._counters["worker_crashes"] += 1
+            if self.obs is not None:
+                self.obs.crashes.inc()
             if entry is not None:
+                if self.flight is not None:
+                    self.flight.crash(entry.handle.request.seq,
+                                      worker=worker.wid,
+                                      attempt=entry.attempts)
                 self._retry_after_crash(entry)
 
     def _retry_after_crash(self, entry: QueueEntry) -> None:
@@ -602,6 +658,12 @@ class QueryService:
             self._counters["retries"] += 1
             self._queue.push(entry)
             self._cond.notify_all()
+        if self.obs is not None:
+            self.obs.retries.inc()
+        if self.flight is not None:
+            self.flight.event(req.seq, "retry_scheduled",
+                              backoff_s=backoff,
+                              next_attempt=entry.attempts + 1)
         if self.tracer:
             self.tracer.instant("retry scheduled", ENGINE,
                                 {"request": req.label,
@@ -618,6 +680,9 @@ class QueryService:
         """
         req = entry.handle.request
         entry.handle._set_status(QueryStatus.RUNNING)
+        if self.flight is not None:
+            self.flight.event(req.seq, "executing", worker=worker.wid,
+                              attempt=entry.attempts)
         t_run0 = self._now()
         tr = self.tracer
         tw0 = tr.now() if tr else 0.0
@@ -650,6 +715,16 @@ class QueryService:
                         {"outcome": "failed", "error": str(exc)})
             return
 
+        if self.obs is not None:
+            self.obs.plan_cache_lookup(info["plan_cache_hit"])
+        if self.flight is not None:
+            self.flight.event(req.seq, "planned",
+                              cache_hit=info["plan_cache_hit"],
+                              plan_s=info["plan_s"])
+            self.flight.event(req.seq, "executed",
+                              execute_s=info["execute_s"],
+                              count=result.count,
+                              sim_time_s=result.report.total_time_s)
         if tr:
             t_exec_end = tr.now()
             tr.span(f"plan {req.label}", worker.wid, tw0,
@@ -669,6 +744,8 @@ class QueryService:
             if tr:
                 tr.span(f"stream {req.label}", worker.wid, ts0, tr.now(),
                         {"chunks": streamed})
+            if self.flight is not None:
+                self.flight.event(req.seq, "streamed", chunks=streamed)
         now = self._now()
         self._finish_entry(entry, QueryOutcome(
             status=QueryStatus.COMPLETED, count=result.count, result=result,
@@ -725,6 +802,24 @@ class QueryService:
             self._latency.add(outcome.total_s)
             self._queue_wait.add(outcome.queue_wait_s)
             self._execute.add(outcome.execute_s)
+        if self.obs is not None and delivered:
+            status = outcome.status.value
+            self.obs.requests.inc_child(self.obs.requests.labels(status))
+            if outcome.status == QueryStatus.COMPLETED:
+                self.obs.completed.inc_child(
+                    self.obs.completed.labels(req.tenant))
+            elif (outcome.status == QueryStatus.CANCELLED
+                  and outcome.error == "deadline exceeded"):
+                self.obs.deadline_missed.inc()
+            with self._cond:
+                self.obs.inflight.set(len(self._inflight))
+            self.obs.reserved_bytes.set(self.admission.reserved_bytes)
+        if self.flight is not None:
+            self.flight.finish(req.seq, outcome.status.value,
+                               count=outcome.count,
+                               attempts=outcome.attempts,
+                               error=outcome.error,
+                               total_s=outcome.total_s)
 
     # -- introspection ---------------------------------------------------------
 

@@ -6,12 +6,22 @@ for queue wait, execution, and end-to-end latency — alongside the
 simulated per-query metrics the engine already produces.  Snapshots are
 plain dataclasses with ``as_dict`` so the CLI, the load driver and
 ``bench_serving.py`` all serialise the same shape.
+
+:class:`LatencyRecorder` is backed by the shared
+:class:`~repro.obs.metrics.Histogram` type (log buckets for exposition,
+plus the recorder's historical deterministic round-robin reservoir for
+exact percentiles); its ``snapshot()`` dict shape — and therefore the
+``BENCH_serving.json`` schema — is unchanged and pinned by a regression
+test.  Pass ``histogram=`` to share one registered in a
+:class:`~repro.obs.metrics.MetricsRegistry`, so the same samples serve
+both the snapshot dicts and the Prometheus exposition.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
+
+from ..obs.metrics import Histogram
 
 __all__ = ["percentile", "LatencyRecorder", "ServiceStats"]
 
@@ -19,10 +29,16 @@ __all__ = ["percentile", "LatencyRecorder", "ServiceStats"]
 def percentile(values: list[float], q: float) -> float:
     """The ``q``-th percentile (0..100) with linear interpolation.
 
-    ``values`` must be sorted ascending; empty input gives 0.0.
+    ``values`` must be sorted ascending (guarded: unsorted input raises
+    ``ValueError`` rather than silently returning nonsense); ``q``
+    outside [0, 100] raises too.  Empty input gives 0.0.
     """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
     if not values:
         return 0.0
+    if any(b < a for a, b in zip(values, values[1:])):
+        raise ValueError("percentile() requires ascending-sorted input")
     if len(values) == 1:
         return values[0]
     rank = (q / 100.0) * (len(values) - 1)
@@ -33,30 +49,45 @@ def percentile(values: list[float], q: float) -> float:
 
 
 class LatencyRecorder:
-    """Bounded reservoir of latency samples with percentile snapshots."""
+    """Latency samples over a shared histogram, with percentile snapshots.
 
-    def __init__(self, max_samples: int = 10_000):
-        self._lock = threading.Lock()
-        self._samples: list[float] = []
-        self._max = max_samples
-        self.count = 0
-        self.total = 0.0
+    The histogram keeps a bounded deterministic reservoir (round-robin
+    overwrite — sample ``i`` of the stream lands in slot ``i mod
+    capacity``) for exact percentiles, exactly the retention policy this
+    recorder has always had.
+    """
+
+    def __init__(self, max_samples: int = 10_000,
+                 histogram: Histogram | None = None):
+        if histogram is None:
+            histogram = Histogram("latency_seconds",
+                                  "standalone latency recorder",
+                                  time_base="wall", reservoir=max_samples)
+        elif not histogram.reservoir:
+            raise ValueError("LatencyRecorder needs a histogram with a "
+                             "reservoir (exact percentiles)")
+        self._hist = histogram
+        self._child = histogram.labels() if not histogram.labelnames \
+            else None
+        if self._child is None:
+            raise ValueError("LatencyRecorder histograms must be unlabelled")
+
+    @property
+    def count(self) -> int:
+        return self._child.count
+
+    @property
+    def total(self) -> float:
+        return self._child.sum
 
     def add(self, seconds: float) -> None:
-        with self._lock:
-            self.count += 1
-            self.total += seconds
-            if len(self._samples) < self._max:
-                self._samples.append(seconds)
-            else:
-                # deterministic decimating reservoir: overwrite round-robin
-                self._samples[self.count % self._max] = seconds
+        self._hist.observe_child(self._child, seconds)
 
     def snapshot(self) -> dict:
         """``{count, mean_s, p50_s, p95_s, p99_s, max_s}``."""
-        with self._lock:
-            ordered = sorted(self._samples)
-            count, total = self.count, self.total
+        with self._hist._lock:
+            ordered = sorted(self._child.samples)
+            count, total = self._child.count, self._child.sum
         return {
             "count": count,
             "mean_s": total / count if count else 0.0,

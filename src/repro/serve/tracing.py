@@ -30,8 +30,8 @@ class ServiceTracer:
 
     enabled = True
 
-    def __init__(self, num_workers: int):
-        self.trace = Trace(num_machines=num_workers)
+    def __init__(self, num_workers: int, max_events: int | None = None):
+        self.trace = Trace(num_machines=num_workers, max_events=max_events)
         self._t0 = time.perf_counter()
         self._lock = threading.Lock()
 
@@ -43,18 +43,17 @@ class ServiceTracer:
              args: Mapping[str, Any] | None = None) -> None:
         """Record a completed wall-clock span on a worker (or ENGINE) track."""
         with self._lock:
-            self.trace.spans.append(SpanEvent(name, track, t0, t1, args))
+            self.trace.add_span(SpanEvent(name, track, t0, t1, args))
 
     def instant(self, name: str, track: int,
                 args: Mapping[str, Any] | None = None) -> None:
         with self._lock:
-            self.trace.instants.append(
-                InstantEvent(name, track, self.now(), args))
+            self.trace.add_instant(InstantEvent(name, track, self.now(), args))
 
     def counter(self, name: str, track: int,
                 values: Mapping[str, float]) -> None:
         with self._lock:
-            self.trace.counters.append(
+            self.trace.add_counter(
                 CounterEvent(name, track, self.now(), dict(values)))
 
     def save(self, path: str, meta: Mapping[str, Any] | None = None) -> None:

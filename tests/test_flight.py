@@ -1,0 +1,248 @@
+"""Tests for the per-query flight recorder (repro.obs.flight): bounded
+rings, phase breakdowns, the slow-query log (including an end-to-end
+deadline-missed request through the service), dump-on-crash, and the
+JSONL export format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder
+from repro.serve import (FaultInjector, QueryRequest, QueryService,
+                         QueryStatus)
+
+
+class FakeClock:
+    """A hand-cranked wall clock so phase durations are exact."""
+
+    def __init__(self) -> None:
+        self.t = 100.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def fly(rec: FlightRecorder, clock: FakeClock, seq: int,
+        phases: list[tuple[str, float]], status: str = "completed",
+        deadline_s: float | None = None) -> None:
+    """Record one flight: each (kind, dwell) pair spends ``dwell`` seconds
+    in that phase before the next event."""
+    rec.begin(seq, f"q#{seq}", deadline_s=deadline_s)
+    for kind, dwell in phases:
+        clock.advance(dwell)
+        rec.event(seq, kind)
+    clock.advance(0.0)
+    rec.finish(seq, status)
+
+
+class TestFlightLifecycle:
+    def test_phase_breakdown_attributes_gaps(self, clock):
+        rec = FlightRecorder(clock=clock)
+        rec.begin(1, "q1", tenant="t", deadline_s=10.0)
+        clock.advance(0.5)           # time spent "admitted" (queueing)
+        rec.event(1, "dispatched")
+        clock.advance(2.0)           # time spent dispatched (executing)
+        rec.event(1, "executed", count=42)
+        clock.advance(0.25)
+        rec.finish(1, "completed")
+        flight = rec.get(1)
+        assert flight.status == "completed"
+        phases = flight.phase_seconds()
+        assert phases["admitted"] == pytest.approx(0.5)
+        assert phases["dispatched"] == pytest.approx(2.0)
+        assert phases["executed"] == pytest.approx(0.25)
+        assert flight.total_s == pytest.approx(2.75)
+        assert flight.as_dict()["phases"] == phases
+
+    def test_event_on_unknown_seq_is_noop(self, clock):
+        rec = FlightRecorder(clock=clock)
+        rec.event(999, "dispatched")     # must not raise
+        rec.finish(999, "completed")
+        assert rec.stats()["retained"] == 0
+
+    def test_ring_bound_drops_oldest_first(self, clock):
+        rec = FlightRecorder(capacity=3, clock=clock)
+        for seq in range(6):
+            fly(rec, clock, seq, [("dispatched", 0.1)])
+        flights = rec.flights()
+        assert [f.seq for f in flights] == [3, 4, 5]
+        assert rec.dropped == 3
+        assert rec.stats()["dropped"] == 3
+        assert rec.get(0) is None
+        assert rec.get(5) is not None
+
+
+class TestSlowQueryLog:
+    def test_absolute_threshold(self, clock):
+        rec = FlightRecorder(slow_threshold_s=1.0, clock=clock)
+        fly(rec, clock, 1, [("executed", 0.2)])       # fast: not logged
+        fly(rec, clock, 2, [("executed", 3.0)])       # slow: logged
+        assert len(rec.slow_queries) == 1
+        record = rec.slow_queries[0]
+        assert record["seq"] == 2
+        assert record["slow_threshold_s"] == 1.0
+        assert record["phases"]["admitted"] == pytest.approx(3.0)
+
+    def test_deadline_fraction_threshold(self, clock):
+        # no absolute threshold: a query with a 1s deadline goes slow at
+        # 0.8s even though others never do
+        rec = FlightRecorder(deadline_fraction=0.8, clock=clock)
+        fly(rec, clock, 1, [("executed", 0.9)])                  # no deadline
+        fly(rec, clock, 2, [("executed", 0.9)], deadline_s=1.0)  # 0.9 >= 0.8
+        fly(rec, clock, 3, [("executed", 0.5)], deadline_s=1.0)  # under
+        assert [r["seq"] for r in rec.slow_queries] == [2]
+
+    def test_slow_log_bounded(self, clock):
+        rec = FlightRecorder(slow_log_capacity=2, slow_threshold_s=0.0,
+                             clock=clock)
+        for seq in range(5):
+            fly(rec, clock, seq, [("executed", 0.1)])
+        assert len(rec.slow_queries) == 2
+        assert rec.slow_dropped == 3
+        assert [r["seq"] for r in rec.slow_queries] == [3, 4]
+
+
+class TestCrashDumps:
+    def test_crash_snapshots_immediately(self, clock):
+        """The dump survives even if the ring later wraps the flight out."""
+        rec = FlightRecorder(capacity=1, clock=clock)
+        rec.begin(1, "victim")
+        clock.advance(0.5)
+        rec.crash(1, worker=3, attempt=1)
+        dump = rec.crash_dumps[0]
+        assert dump["seq"] == 1
+        assert dump["events"][-1]["kind"] == "crash"
+        assert dump["events"][-1]["worker"] == 3
+        # retry completes, then other flights wrap the ring
+        clock.advance(0.5)
+        rec.finish(1, "completed")
+        for seq in (2, 3):
+            fly(rec, clock, seq, [("executed", 0.1)])
+        assert rec.get(1) is None          # wrapped out of the ring
+        assert rec.crash_dumps[0]["seq"] == 1   # dump survived
+        # the dump is a snapshot: it has no terminal event
+        assert all(e["kind"] != "completed"
+                   for e in rec.crash_dumps[0]["events"])
+
+    def test_crash_dump_bounded(self, clock):
+        rec = FlightRecorder(crash_dump_capacity=2, clock=clock)
+        for seq in range(4):
+            rec.begin(seq, f"q#{seq}")
+            rec.crash(seq, worker=0)
+            rec.finish(seq, "completed")
+        assert len(rec.crash_dumps) == 2
+        assert rec.crash_dropped == 2
+
+
+class TestJsonl:
+    def test_dump_format(self, clock, tmp_path):
+        rec = FlightRecorder(clock=clock)
+        fly(rec, clock, 1, [("dispatched", 0.1), ("executed", 0.2)])
+        path = tmp_path / "flights.jsonl"
+        n = rec.dump(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == n == 4  # admitted, dispatched, executed, terminal
+        for line in lines:
+            ev = json.loads(line)
+            assert {"seq", "label", "tenant", "ts", "kind"} <= ev.keys()
+            assert ev["seq"] == 1
+        kinds = [json.loads(ln)["kind"] for ln in lines]
+        assert kinds == ["admitted", "dispatched", "executed", "completed"]
+
+
+class TestServiceIntegration:
+    def test_deadline_missed_request_reproduced_in_slow_log(self, er_graph):
+        """The ISSUE's acceptance test: a request that misses its deadline
+        shows up in the slow-query log with its span breakdown."""
+        flight = FlightRecorder(deadline_fraction=0.5)
+        svc = QueryService(datasets={"er": er_graph}, num_workers=1,
+                           flight=flight).start()
+        try:
+            # saturate the single worker so the doomed request waits out
+            # its deadline in the queue
+            blockers = [svc.submit(QueryRequest(
+                pattern="q3", dataset="er", num_machines=2,
+                workers_per_machine=2)) for _ in range(3)]
+            doomed = svc.submit(QueryRequest(
+                pattern="q3", dataset="er", num_machines=2,
+                workers_per_machine=2, deadline_s=0.001))
+            outcome = doomed.result(timeout=60)
+            assert outcome.status is QueryStatus.CANCELLED
+            for h in blockers:
+                assert h.result(timeout=60).status is QueryStatus.COMPLETED
+        finally:
+            svc.stop()
+        slow = [r for r in flight.slow_queries
+                if r["seq"] == doomed.request.seq]
+        assert len(slow) == 1
+        record = slow[0]
+        assert record["status"] == "cancelled"
+        assert record["deadline_s"] == 0.001
+        assert record["slow_threshold_s"] == pytest.approx(0.0005)
+        # span breakdown: all its life was spent waiting in the queue
+        assert record["total_s"] >= sum(record["phases"].values()) - 1e-9
+        kinds = [e["kind"] for e in record["events"]]
+        assert kinds[0] == "admitted"
+        assert "queued" in kinds
+        assert kinds[-1] == "cancelled"
+        # it never produced a result: no executed/streamed events
+        assert "executed" not in kinds and "streamed" not in kinds
+
+    def test_crashed_query_flight_dumped(self, er_graph):
+        injector = FaultInjector()
+        flight = FlightRecorder()
+        svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                           injector=injector, backoff_base_s=0.01,
+                           flight=flight).start()
+        try:
+            victim = QueryRequest(pattern="q2", dataset="er",
+                                  num_machines=2, workers_per_machine=2)
+            injector.crash(victim.seq, attempt=1, after_polls=2)
+            outcome = svc.submit(victim).result(timeout=60)
+            assert outcome.status is QueryStatus.COMPLETED
+            assert outcome.attempts == 2
+        finally:
+            svc.stop()
+        assert len(flight.crash_dumps) == 1
+        dump = flight.crash_dumps[0]
+        assert dump["seq"] == victim.seq
+        assert any(e["kind"] == "crash" for e in dump["events"])
+        # the completed retry is also fully recorded in the ring
+        done = flight.get(victim.seq)
+        assert done.status == "completed"
+        kinds = [e.kind for e in done.events]
+        assert "crash" in kinds and "retry_scheduled" in kinds
+        assert kinds.count("executing") == 2  # both attempts
+
+    def test_all_completed_flights_recorded(self, er_graph):
+        flight = FlightRecorder()
+        svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                           flight=flight).start()
+        try:
+            handles = [svc.submit(QueryRequest(
+                pattern="triangle", dataset="er", num_machines=2,
+                workers_per_machine=2)) for _ in range(4)]
+            for h in handles:
+                assert h.result(timeout=60).status is QueryStatus.COMPLETED
+        finally:
+            svc.stop()
+        stats = flight.stats()
+        assert stats["retained"] == 4
+        assert stats["active"] == 0
+        for f in flight.flights():
+            kinds = [e.kind for e in f.events]
+            assert kinds[0] == "admitted"
+            for expected in ("queued", "dispatched", "executing", "planned",
+                             "executed"):
+                assert expected in kinds, (expected, kinds)
+            assert kinds[-1] == "completed"

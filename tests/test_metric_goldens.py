@@ -67,3 +67,28 @@ def test_metrics_bit_identical(goldens, current, case_name):
         assert got == record, (
             f"{case_name}/{spec_name}: simulated metrics drifted from "
             f"the golden record.\n  golden: {record}\n  got:    {got}")
+
+
+@pytest.mark.parametrize("case_name",
+                         [name for name, _ in golden_workloads()])
+def test_goldens_unchanged_with_metrics_enabled(goldens, case_name):
+    """Attaching the metrics registry (PR 7) must not move a single
+    golden number: re-run every HUGE spec under a MetricsTracer and
+    compare against the same frozen records."""
+    from repro.obs import MetricsRegistry, MetricsTracer
+    from repro.testing.harness import execute
+
+    workload = dict(golden_workloads())[case_name]
+    for spec in golden_specs():
+        if not getattr(spec, "is_huge", False) or not spec.supports(workload):
+            continue
+        record = goldens["cases"][case_name]["specs"][spec.name]
+        outcome = execute(workload, spec,
+                          tracer=MetricsTracer(MetricsRegistry()))
+        assert outcome.error is None, outcome.error
+        got = {"count": outcome.count,
+               "report": outcome.report.as_dict(),
+               "cache_overflow_ids": outcome.cache_overflow_ids}
+        assert got == record, (
+            f"{case_name}/{spec.name}: metrics-enabled run drifted from "
+            f"the golden record")

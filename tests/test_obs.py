@@ -281,6 +281,147 @@ class TestAsDict:
         assert data["report"]["mem_underflows"] == 0
 
 
+# -- bounded traces ------------------------------------------------------------
+
+
+class TestTraceEventCap:
+    def test_oldest_events_drop_first_deterministically(self):
+        tr = Trace(num_machines=1, max_events=4)
+        t = Tracer()
+        t.trace = tr
+        for i in range(6):
+            t.complete(f"s{i}", 0, float(i), float(i) + 0.5)
+        assert len(tr.spans) == 4
+        assert [s.name for s in tr.spans] == ["s2", "s3", "s4", "s5"]
+        assert tr.dropped_events == 2
+
+    def test_cap_interleaves_streams_in_append_order(self):
+        """The cap is global across spans/instants/counters: whichever
+        event was appended first drops first, regardless of stream."""
+        from repro.obs.trace import CounterEvent, InstantEvent, SpanEvent
+
+        tr = Trace(num_machines=1, max_events=3)
+        tr.add_span(SpanEvent("span0", 0, 0.0, 1.0))   # oldest → dropped
+        tr.add_instant(InstantEvent("inst0", 0, 0.5))  # second → dropped
+        tr.add_counter(CounterEvent("cnt0", 0, 0.6, {"v": 1}))
+        tr.add_span(SpanEvent("span1", 0, 1.0, 2.0))
+        tr.add_instant(InstantEvent("inst1", 0, 2.0))
+        assert [c.name for c in tr.counters] == ["cnt0"]
+        assert [s.name for s in tr.spans] == ["span1"]
+        assert [i.name for i in tr.instants] == ["inst1"]
+        assert tr.dropped_events == 2
+
+    def test_dropped_count_exported_in_chrome_metadata(self):
+        tr = Trace(num_machines=1, max_events=1)
+        t = Tracer(max_events=1)
+        t.trace = tr
+        t.complete("a", 0, 0.0, 1.0)
+        t.complete("b", 0, 1.0, 2.0)
+        data = tr.to_chrome()
+        assert data["otherData"]["dropped_events"] == 1
+
+    def test_uncapped_trace_never_drops(self):
+        tr = Trace(num_machines=1)
+        t = Tracer()
+        t.trace = tr
+        for i in range(100):
+            t.complete(f"s{i}", 0, float(i), float(i) + 0.5)
+        assert len(tr.spans) == 100
+        assert tr.dropped_events == 0
+        assert tr.to_chrome()["otherData"]["dropped_events"] == 0
+
+    def test_capped_tracer_run_stays_bit_identical(self, er_graph):
+        """Dropping old events must not perturb the simulation."""
+        def go(tracer):
+            cluster = Cluster(er_graph, num_machines=3,
+                              workers_per_machine=4, seed=2)
+            return HugeEngine(cluster).run(get_query("q1"), tracer=tracer)
+
+        plain = go(None)
+        capped = go(Tracer(max_events=50))
+        assert len(capped.trace.spans) <= 50
+        assert capped.trace.dropped_events > 0
+        assert plain.count == capped.count
+        assert plain.report.as_dict() == capped.report.as_dict()
+
+
+# -- the metrics bridge --------------------------------------------------------
+
+
+class TestMetricsTracer:
+    def test_instrumented_run_bit_identical(self, er_graph):
+        """The tentpole invariant: aggregating engine metrics through the
+        tracer protocol must not move a single simulated number."""
+        from repro.obs import MetricsRegistry, MetricsTracer
+
+        def go(tracer):
+            cluster = Cluster(er_graph, num_machines=3,
+                              workers_per_machine=4, seed=2)
+            return HugeEngine(cluster).run(get_query("q1"), tracer=tracer)
+
+        plain = go(None)
+        reg = MetricsRegistry()
+        metered = go(MetricsTracer(reg))
+        assert plain.count == metered.count
+        assert plain.report.as_dict() == metered.report.as_dict()
+        assert plain.cache_hit_rate == metered.cache_hit_rate
+
+    def test_engine_families_aggregated(self, cluster):
+        from repro.obs import (MetricsRegistry, MetricsTracer,
+                               check_exposition, record_result)
+
+        reg = MetricsRegistry()
+        engine = HugeEngine(cluster)
+        res = engine.run(get_query("q1"), tracer=MetricsTracer(reg))
+        record_result(reg, res)
+
+        rounds = reg.get("repro_engine_scheduler_rounds_total")
+        assert rounds.value > 0
+        batch = reg.get("repro_engine_batch_rows")
+        ops = {key[0] for key in batch._children}
+        assert "SCAN" in ops
+        assert "PULL-EXTEND" in ops or "JOIN-OUT" in ops
+        cache = reg.get("repro_engine_cache_requests_total")
+        hits, misses = cache.get("hit"), cache.get("miss")
+        assert hits + misses > 0
+        # bridged totals agree with the engine's own report
+        assert reg.get("repro_engine_matches_total").value == res.count
+        assert reg.get("repro_engine_sim_seconds_total").get("total") == \
+            pytest.approx(res.report.total_time_s)
+        assert reg.get("repro_engine_bytes_transferred_total").value == \
+            res.report.bytes_transferred
+        hr = reg.get("repro_engine_last_cache_hit_rate").value
+        assert hr == pytest.approx(res.cache_hit_rate)
+        assert check_exposition(reg.expose()) == []
+
+    def test_wraps_inner_tracer_and_shares_trace(self, cluster):
+        from repro.obs import MetricsRegistry, MetricsTracer
+
+        reg = MetricsRegistry()
+        inner = Tracer()
+        mt = MetricsTracer(reg, inner=inner)
+        res = HugeEngine(cluster).run(get_query("triangle"), tracer=mt)
+        # the wrapped tracer recorded the full trace...
+        assert res.trace is inner.trace
+        assert res.trace.spans
+        # ...and the registry aggregated alongside
+        assert reg.get("repro_engine_scheduler_rounds_total").value > 0
+
+    def test_census_recorded(self, cluster):
+        from repro.apps.mining import motif_census
+        from repro.obs import MetricsRegistry, record_census
+
+        reg = MetricsRegistry()
+        census = motif_census(cluster, 3)
+        record_census(reg, census)
+        assert reg.get("repro_census_subgraphs_total").value == \
+            census.total_subgraphs
+        canon = reg.get("repro_census_canonical_total")
+        assert canon.get("call") == census.canonical_calls
+        assert canon.get("memo_hit") == census.memo_hits
+        assert reg.get("repro_census_classes").value == len(census.counts)
+
+
 # -- explain --analyze ---------------------------------------------------------
 
 

@@ -423,6 +423,26 @@ class TestStatsPrimitives:
         assert percentile(vals, 50) == 2.5
         assert percentile([], 50) == 0.0
 
+    def test_percentile_edge_cases(self):
+        # single sample: every q returns it
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 100) == 7.0
+        # two samples: linear interpolation between them
+        assert percentile([1.0, 3.0], 0) == 1.0
+        assert percentile([1.0, 3.0], 50) == 2.0
+        assert percentile([1.0, 3.0], 100) == 3.0
+        assert percentile([1.0, 3.0], 25) == pytest.approx(1.5)
+
+    def test_percentile_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError, match="0..100"):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError, match="0..100"):
+            percentile([1.0], 101)
+
+    def test_percentile_rejects_unsorted_input(self):
+        with pytest.raises(ValueError, match="ascending"):
+            percentile([3.0, 1.0, 2.0], 50)
+
     def test_latency_recorder(self):
         rec = LatencyRecorder()
         for v in (0.1, 0.2, 0.3):
@@ -431,3 +451,149 @@ class TestStatsPrimitives:
         assert snap["count"] == 3
         assert snap["p50_s"] == pytest.approx(0.2)
         assert snap["max_s"] == pytest.approx(0.3)
+
+    def test_latency_recorder_snapshot_schema_pinned(self):
+        """Regression: BENCH_serving.json consumers read exactly these
+        keys; migrating onto the shared histogram must not change them."""
+        rec = LatencyRecorder()
+        rec.add(0.5)
+        assert set(rec.snapshot()) == {"count", "mean_s", "p50_s", "p95_s",
+                                       "p99_s", "max_s"}
+        empty = LatencyRecorder().snapshot()
+        assert empty == {"count": 0, "mean_s": 0.0, "p50_s": 0.0,
+                         "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
+
+    def test_latency_recorder_wraparound_deterministic(self):
+        """Round-robin overwrite: after capacity wraps, the retained
+        window is a pure function of the stream — two identical streams
+        retain identical samples."""
+        def run() -> dict:
+            rec = LatencyRecorder(max_samples=8)
+            for i in range(20):
+                rec.add(float(i))
+            return rec.snapshot()
+
+        a, b = run(), run()
+        assert a == b
+        assert a["count"] == 20          # count tracks the full stream
+        assert a["max_s"] == 19.0        # newest sample retained
+        # sample 8 onward landed in slot count % 8 (count after inc), so
+        # the window holds exactly the last 8 values 12..19
+        rec = LatencyRecorder(max_samples=8)
+        for i in range(20):
+            rec.add(float(i))
+        assert sorted(rec._child.samples) == [float(v)
+                                              for v in range(12, 20)]
+
+    def test_latency_recorder_over_shared_histogram(self):
+        """The serving tier's recorders feed the same samples to the
+        snapshot dict and the Prometheus exposition."""
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat_seconds", "latency", time_base="wall",
+                             reservoir=16)
+        rec = LatencyRecorder(histogram=hist)
+        for v in (0.1, 0.2, 0.4):
+            rec.add(v)
+        assert rec.count == 3 == hist.count
+        assert rec.snapshot()["p50_s"] == pytest.approx(0.2)
+        assert hist.percentile(50) == pytest.approx(0.2)
+        assert "repro_lat_seconds_count 3" in reg.expose()
+
+    def test_latency_recorder_rejects_unusable_histogram(self):
+        from repro.obs import Histogram
+
+        with pytest.raises(ValueError, match="reservoir"):
+            LatencyRecorder(histogram=Histogram("h"))
+        with pytest.raises(ValueError, match="labelled"):
+            LatencyRecorder(histogram=Histogram("h", labelnames=("k",),
+                                                reservoir=4))
+
+
+class TestServiceMetrics:
+    def test_counters_match_service_stats(self, er_graph):
+        from repro.obs import MetricsRegistry, check_exposition
+
+        reg = MetricsRegistry()
+        svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                           metrics=reg).start()
+        try:
+            handles = [svc.submit(req(p, tenant=t))
+                       for p, t in (("triangle", "a"), ("q1", "a"),
+                                    ("q1", "b"), ("q2", "b"))]
+            for h in handles:
+                assert h.result(timeout=60).status is QueryStatus.COMPLETED
+        finally:
+            svc.stop()
+        stats = svc.stats()
+        sub = reg.get("repro_serve_submitted_total")
+        assert sub.get("a") + sub.get("b") == stats.submitted
+        comp = reg.get("repro_serve_completed_total")
+        assert comp.get("a") + comp.get("b") == stats.completed
+        assert reg.get("repro_serve_requests_total").get("completed") == \
+            stats.completed
+        pc = reg.get("repro_serve_plan_cache_total")
+        assert pc.get("hit") == svc.plan_cache.stats.hits
+        assert pc.get("miss") == svc.plan_cache.stats.misses
+        adm = reg.get("repro_serve_admission_total")
+        assert adm.get("accept", "fits") == stats.submitted
+        # latency histogram carries the same samples as the snapshot dict
+        lat = reg.get("repro_serve_latency_seconds")
+        assert lat.count == stats.completed
+        assert svc._latency.snapshot()["p50_s"] == \
+            pytest.approx(lat.percentile(50))
+        # gauges drain with the service
+        assert reg.get("repro_serve_inflight").value == 0
+        assert reg.get("repro_serve_reserved_bytes").value == 0
+        assert check_exposition(reg.expose()) == []
+
+    def test_reject_and_crash_counters(self, er_graph):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        injector = FaultInjector()
+        svc = QueryService(datasets={"er": er_graph}, num_workers=1,
+                           memory_budget_bytes=1.0, injector=injector,
+                           backoff_base_s=0.01, metrics=reg).start()
+        try:
+            outcome = svc.submit(req()).result(timeout=60)
+            assert outcome.status is QueryStatus.REJECTED
+        finally:
+            svc.stop()
+        assert reg.get("repro_serve_admission_total") \
+            .get("reject", "memory_bound") == 1
+        assert reg.get("repro_serve_requests_total").get("rejected") == 1
+
+        reg2 = MetricsRegistry()
+        injector = FaultInjector()
+        svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                           injector=injector, backoff_base_s=0.01,
+                           metrics=reg2).start()
+        try:
+            victim = req("q2")
+            injector.crash(victim.seq, attempt=1, after_polls=2)
+            outcome = svc.submit(victim).result(timeout=60)
+            assert outcome.status is QueryStatus.COMPLETED
+        finally:
+            svc.stop()
+        assert reg2.get("repro_serve_worker_crashes_total").value == \
+            svc.stats().worker_crashes == 1
+        assert reg2.get("repro_serve_retries_total").value == 1
+
+    def test_driver_run_with_metrics_verifies_bit_identical(self, er_graph):
+        """LoadDriver integration: a metrics+flight run still passes the
+        solo-run bit-identity oracle."""
+        from repro.obs import FlightRecorder, MetricsRegistry
+
+        reg = MetricsRegistry()
+        flight = FlightRecorder()
+        spec = WorkloadSpec(num_queries=6, dataset="er",
+                            patterns=("triangle", "q1"), num_machines=2,
+                            workers_per_machine=2, relabel_fraction=0.5)
+        driver = LoadDriver(er_graph, spec, num_workers=2, metrics=reg,
+                            flight=flight)
+        report = driver.run(verify=True)
+        assert report.verified is True
+        assert reg.get("repro_serve_requests_total").get("completed") == 6
+        assert flight.stats()["retained"] == 6
