@@ -279,7 +279,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_machines=args.machines, workers_per_machine=args.workers,
         seed=args.seed, relabel_fraction=args.relabel_fraction,
         deadline_fraction=args.deadline_fraction, deadline_s=args.deadline,
-        tenants=tuple(args.tenants.split(",")), crashes=args.crash)
+        tenants=tuple(args.tenants.split(",")), crashes=args.crash,
+        zipf_s=args.zipf)
     registry = None
     flight = None
     if args.metrics:
@@ -295,7 +296,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         memory_budget_bytes=(args.budget_mb * 1e6 if args.budget_mb
                              else float("inf")),
         tenant_max_inflight=args.tenant_cap, trace=bool(args.trace),
-        metrics=registry, flight=flight)
+        metrics=registry, flight=flight, sharing=args.share,
+        result_cache_bytes=args.result_cache_mb * 1e6)
     report = driver.run(verify=args.verify)
     if args.trace and driver.service and driver.service.tracer:
         driver.service.tracer.save(
@@ -326,6 +328,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pc = svc["plan_cache"]
     print(f"plan cache: {pc['hits']} hits / {pc['misses']} misses "
           f"(hit rate {pc['hit_rate']:.1%})")
+    if args.share or args.result_cache_mb:
+        rc = svc.get("result_cache") or {}
+        print(f"sharing: {svc['shared_groups']} groups covering "
+              f"{svc['shared_requests']} requests; result cache "
+              f"{svc['result_cache_hits']} hits"
+              + (f" (hit rate {rc['hit_rate']:.1%})" if rc else ""))
     print(f"admission: peak reserved "
           f"{svc['admission']['peak_reserved_bytes'] / 1e6:.2f} MB, "
           f"{svc['rejected']} rejected, ledger after drain "
@@ -512,6 +520,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max in-flight queries per tenant")
     s.add_argument("--crash", type=int, default=0,
                    help="inject N worker crashes (recovered by retry)")
+    s.add_argument("--share", action="store_true",
+                   help="enable cross-query work sharing (shared-prefix "
+                        "batching of concurrently queued requests)")
+    s.add_argument("--result-cache-mb", type=float, default=0.0,
+                   help="result-cache capacity in MB (0 = disabled); bytes "
+                        "are accounted through the admission ledger")
+    s.add_argument("--zipf", type=float, default=0.0,
+                   help="Zipf skew for pattern choice (0 = round-robin mix)")
     s.add_argument("--verify", action="store_true",
                    help="check each served query against a solo run")
     s.add_argument("--trace", metavar="FILE",

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..cluster.cluster import Cluster
+from ..cluster.errors import PlanError
 from ..cluster.metrics import RunReport
 from ..obs.trace import ENGINE, NULL_TRACER, Trace, Tracer
 from ..query.estimate import CardinalityEstimator, SamplingEstimator
@@ -29,7 +30,7 @@ from .plan.logical import LogicalPlan
 from .plan.optimiser import Optimiser
 from .plan.physical import ExecutionPlan, configure_plan
 from .plan.translate import translate
-from .scheduler import SchedulerConfig, run_segment
+from .scheduler import SchedulerConfig, run_segment, run_shared_chains
 
 __all__ = ["EngineConfig", "EnumerationResult", "HugeEngine"]
 
@@ -262,3 +263,103 @@ class HugeEngine:
             cache_capacity_ids=capacity,
             trace=tr.trace if tr.enabled else None,
         )
+
+    def run_shared(self, plans: list[ExecutionPlan],
+                   collects: list[bool] | None = None,
+                   reset_metrics: bool = True) -> list[EnumerationResult]:
+        """Execute several plans as one share group.
+
+        All plans must translate to single-segment chains (edge ``SCAN``
+        plus ``PULL-EXTEND``\\ s) whose leading operator specs are
+        literally equal for at least the scan — the serving dispatcher
+        guarantees this by grouping on prefix signatures.  The longest
+        common spec prefix runs **once** into a tee buffer; each plan's
+        remaining extends then run over a replay of that buffer into a
+        per-plan sink (multi-sink result tagging).  When every plan is
+        the same canonical pattern the suffixes are empty and the group
+        degenerates to pure isomorphism dedup.
+
+        Per plan, the returned count and (collected) match *set* are
+        identical to a solo :meth:`run` of that plan — the operator specs
+        executed for each plan are spec-for-spec the same, only the
+        batch schedule differs.  The simulated metrics report is the
+        single shared run's ledger, attached to every result; it is
+        **not** comparable to any member's solo report (that is the
+        point — the shared run does strictly less total work).
+
+        ``collects[i]`` overrides ``config.collect_results`` per member.
+        """
+        if not plans:
+            raise ValueError("run_shared needs at least one plan")
+        segments = [translate(p) for p in plans]
+        sigs = []
+        for plan, seg in enumerate(segments):
+            if seg.left is not None or not isinstance(seg.source, ScanSpec):
+                raise PlanError(
+                    "work sharing requires single-segment scan+extend "
+                    f"chains; plan {plan} has a PUSH-JOIN")
+            sigs.append((seg.source, *seg.extends))
+        shared = min(len(s) for s in sigs)
+        for sig in sigs[1:]:
+            n = 0
+            while n < shared and sig[n] == sigs[0][n]:
+                n += 1
+            shared = n
+        if shared < 1:
+            raise PlanError("plans share no common scan prefix")
+
+        if collects is None:
+            collects = [self.config.collect_results] * len(plans)
+        if len(collects) != len(plans):
+            raise ValueError("one collect flag per plan")
+        if reset_metrics:
+            self.cluster.reset_metrics()
+
+        config = self.config
+        capacity = self._cache_capacity_ids()
+        caches = [
+            make_cache(config.cache_variant, capacity, self.cluster.cost,
+                       workers=self.cluster.workers_per_machine)
+            for _ in range(self.cluster.num_machines)
+        ]
+        two_stage = config.two_stage
+        if two_stage is None:
+            two_stage = caches[0].supports_two_stage
+        ctx = ExecContext(self.cluster, caches, two_stage, config.batch_size)
+        ctx.metrics.reserve_constant(capacity * self.cluster.cost.bytes_per_id)
+
+        base = segments[0]
+        prefix = Segment(source=base.source,
+                         extends=list(base.extends[:shared - 1]))
+        suffixes = [
+            Segment(source=seg.source,
+                    extends=list(seg.extends[shared - 1:]),
+                    out_schema=tuple(seg.out_schema))
+            for seg in segments
+        ]
+        sinks = [SinkConsumer(seg.out_schema, collect=collect)
+                 for seg, collect in zip(segments, collects)]
+        run_shared_chains(ctx, config, prefix, suffixes, sinks)
+        ctx.metrics.check_time()
+
+        report = ctx.metrics.report()
+        hits = sum(c.stats.hits for c in caches)
+        misses = sum(c.stats.misses for c in caches)
+        hit_rate = hits / (hits + misses) if hits + misses else 0.0
+        fetch_s = self.cluster.cost.ops_to_seconds(ctx.fetch_ops)
+        overflow = max((c.stats.max_overflow_ids for c in caches), default=0)
+        evictions = sum(c.stats.evictions for c in caches)
+        return [
+            EnumerationResult(
+                count=sink.count,
+                report=report,
+                plan=plan,
+                fetch_time_s=fetch_s,
+                cache_hit_rate=hit_rate,
+                matches=sink.matches() if collect else None,
+                cache_overflow_ids=overflow,
+                cache_evictions=evictions,
+                cache_capacity_ids=capacity,
+            )
+            for plan, sink, collect in zip(plans, sinks, collects)
+        ]

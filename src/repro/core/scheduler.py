@@ -33,7 +33,7 @@ from .operators import (ExecContext, ExtendOp, JoinBuffer, ScanOp,
                         SinkConsumer, join_stream)
 from .stealing import STEALING_MODES, distribute_to_workers, rebalance
 
-__all__ = ["SchedulerConfig", "run_segment"]
+__all__ = ["SchedulerConfig", "run_segment", "run_shared_chains"]
 
 
 @dataclass
@@ -131,6 +131,95 @@ class _JoinFeed:
 
     def exhausted(self) -> bool:
         return all(not self.has_input(m) for m in range(len(self._gens)))
+
+
+class _TeeBuffer:
+    """Materialised output of a shared prefix chain (work sharing).
+
+    Consumes the common prefix's final batches per machine, charging
+    their footprint to the simulated memory ledger, and hands out
+    :class:`_ReplayFeed`\\ s that stream the buffered batches into each
+    share-group member's suffix chain.  ``release`` returns the charged
+    bytes once every member has been fed (the ledger must drain).
+
+    Deliberately *not* a :class:`SinkConsumer`: the prefix chain's last
+    operator must materialise its tuples (no count-only compression) —
+    the suffixes extend them further.
+    """
+
+    def __init__(self, ctx: ExecContext, arity: int):
+        self.ctx = ctx
+        self.arity = arity
+        self.k = ctx.cluster.num_machines
+        self.batches: list[list[Batch]] = [[] for _ in range(self.k)]
+        self.total = 0
+        self._charged = 0.0
+
+    def consume(self, machine: int, batch) -> None:
+        batch = Batch.coerce(batch, self.arity)
+        n = len(batch)
+        if not n:
+            return
+        self.batches[machine].append(batch)
+        self.total += n
+        nbytes = n * self.arity * self.ctx.cost.bytes_per_id
+        self._charged += nbytes
+        self.ctx.metrics.alloc(machine, nbytes)
+
+    def replay(self) -> "_ReplayFeed":
+        """A fresh feed over the buffered prefix output."""
+        return _ReplayFeed(self.batches)
+
+    def release(self) -> None:
+        """Return the buffered bytes to the simulated ledger."""
+        for m in range(self.k):
+            for batch in self.batches[m]:
+                self.ctx.metrics.free(
+                    m, len(batch) * self.arity * self.ctx.cost.bytes_per_id)
+        self.batches = [[] for _ in range(self.k)]
+        self._charged = 0.0
+
+
+class _ReplayFeed:
+    """Streams a tee buffer's batches into one suffix chain (per machine)."""
+
+    def __init__(self, batches: Sequence[Sequence[Batch]]):
+        self._chunks = [deque(per_machine) for per_machine in batches]
+
+    def has_input(self, machine: int) -> bool:
+        return bool(self._chunks[machine])
+
+    def next_batch(self, machine: int) -> Batch:
+        return self._chunks[machine].popleft()
+
+    def exhausted(self) -> bool:
+        return not any(self._chunks)
+
+
+def run_shared_chains(ctx: ExecContext, config: SchedulerConfig,
+                      prefix: Segment, suffixes: Sequence[Segment],
+                      consumers: Sequence[SinkConsumer]) -> int:
+    """Execute a share group: the common prefix once, each suffix on a
+    replay of its output.
+
+    ``prefix`` is the leading scan(+extends) chain every member's plan
+    starts with; ``suffixes[i]`` holds member ``i``'s remaining extends
+    (possibly none — full isomorphism dedup) feeding ``consumers[i]``.
+    Returns the number of prefix tuples materialised (share-ratio
+    telemetry).
+    """
+    if not isinstance(prefix.source, ScanSpec):
+        raise PlanError("shared prefixes must start with an edge scan")
+    tee = _TeeBuffer(ctx, len(prefix.out_schema))
+    try:
+        _ChainRunner(ctx, config, prefix, tee).run()
+        total = tee.total
+        for suffix, consumer in zip(suffixes, consumers):
+            _ChainRunner.for_join(ctx, config, suffix, consumer,
+                                  tee.replay()).run()
+    finally:
+        tee.release()
+    return total
 
 
 # -- the chain scheduler ---------------------------------------------------------------

@@ -12,8 +12,14 @@ A long-running serving tier on top of :class:`~repro.core.engine.HugeEngine`:
   priorities, EDF within, per-tenant caps;
 * **the service** (:mod:`.service`) — the worker pool, dispatcher,
   cancellation and crash-retry fault tolerance;
-* **load driving** (:mod:`.driver`) — seeded workloads with solo-run
-  verification;
+* **work sharing** (:mod:`.sharing`) — share-group formation: canonical
+  plan-prefix signatures let the dispatcher run concurrently queued
+  requests with a common join-unit prefix as one engine execution;
+* **result cache** (:mod:`.resultcache`) — tenant-aware cached answers
+  keyed on (canonical pattern, dataset, graph version, …), with bytes
+  accounted through the admission ledger;
+* **load driving** (:mod:`.driver`) — seeded (optionally Zipf-skewed)
+  workloads with solo-run verification;
 * **observability** (:mod:`.stats`, :mod:`.tracing`,
   :mod:`.instruments`) — latency percentiles, wall-clock Chrome traces,
   and labelled registry metrics (admission/queue/plan-cache/crash
@@ -28,8 +34,11 @@ from .plancache import PlanCache, PlanCacheStats
 from .queueing import PRIORITY_WEIGHTS, MultiQueue, QueueEntry
 from .request import (Priority, QueryHandle, QueryOutcome, QueryRequest,
                       QueryStatus, ResultChunk)
+from .resultcache import CachedResult, ResultCache, ResultCacheStats
 from .service import (Executor, FaultInjector, QueryService, WorkerCrashError,
                       run_query_solo)
+from .sharing import (ShareGroup, common_prefix_len, config_fingerprint,
+                      group_prefix_len, plan_signature, signature_of_plan)
 from .stats import LatencyRecorder, ServiceStats, percentile
 from .tracing import ServiceTracer
 
@@ -42,6 +51,9 @@ __all__ = [
     "QueryStatus", "ResultChunk",
     "Executor", "FaultInjector", "QueryService", "WorkerCrashError",
     "run_query_solo",
+    "CachedResult", "ResultCache", "ResultCacheStats",
+    "ShareGroup", "common_prefix_len", "config_fingerprint",
+    "group_prefix_len", "plan_signature", "signature_of_plan",
     "LatencyRecorder", "ServiceStats", "percentile",
     "ServiceInstruments", "ServiceTracer",
 ]

@@ -49,7 +49,11 @@ def estimate_query_bytes(pattern_vertices: int, graph: Graph,
     capacity = config.output_queue_capacity
     if capacity == float("inf"):
         capacity = 0.0  # BFS: the queue-capacity premise is off (see above)
-    queue_ids = (q * q) * deg * (capacity + config.batch_size * deg)
+    # ≤ q² queues × (capacity + one batch's D_G-expansion) tuples, each
+    # tuple at most |V_q| ids wide — the width factor is q, NOT deg
+    # (a deg width overcharged high-degree graphs and undercharged
+    # large patterns relative to the Theorem-5.4 oracle)
+    queue_ids = (q * q) * q * (capacity + config.batch_size * deg)
     if config.cache_capacity_ids is not None:
         cache_ids = config.cache_capacity_ids
     else:
@@ -86,11 +90,17 @@ class AdmissionController:
         self.stats = AdmissionStats()
         self._lock = threading.Lock()
         self._reserved = 0.0
+        self._cache_reserved = 0.0
 
     @property
     def reserved_bytes(self) -> float:
         """Currently reserved bytes across all dispatched queries."""
         return self._reserved
+
+    @property
+    def cache_reserved_bytes(self) -> float:
+        """Portion of the ledger held by the result cache."""
+        return self._cache_reserved
 
     @property
     def available_bytes(self) -> float:
@@ -130,3 +140,48 @@ class AdmissionController:
                 self.stats.underflows += 1
             self._reserved = max(0.0, self._reserved - nbytes)
             self.stats.releases += 1
+
+    def reject(self) -> None:
+        """Record a rejected submission (counted under the stats lock —
+        the service used to bump ``stats.rejected`` unlocked, racing
+        concurrent submitters)."""
+        with self._lock:
+            self.stats.rejected += 1
+
+    def stats_snapshot(self) -> dict:
+        """Atomic snapshot of the admission counters.
+
+        The counters are mutated under the controller lock, so an
+        unlocked ``stats.as_dict()`` can observe a torn state (e.g. an
+        ``admitted`` increment without the matching ``peak`` update).
+        """
+        with self._lock:
+            snap = self.stats.as_dict()
+            snap["reserved_bytes"] = self._reserved
+            snap["cache_reserved_bytes"] = self._cache_reserved
+            return snap
+
+    # -- result-cache accounting -------------------------------------
+    #
+    # The result cache charges its resident bytes through the same
+    # ledger as query reservations, so cached results and in-flight
+    # queries compete for one budget and the drained-ledger oracle
+    # covers both.  Cache reservations never block (the cache evicts to
+    # its own capacity before reserving); they are tracked separately
+    # for metrics.
+
+    def reserve_cache(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError("reservation must be non-negative")
+        with self._lock:
+            self._reserved += nbytes
+            self._cache_reserved += nbytes
+            if self._reserved > self.stats.peak_reserved_bytes:
+                self.stats.peak_reserved_bytes = self._reserved
+
+    def release_cache(self, nbytes: float) -> None:
+        with self._lock:
+            if nbytes > self._cache_reserved + 1e-6:
+                self.stats.underflows += 1
+            self._cache_reserved = max(0.0, self._cache_reserved - nbytes)
+            self._reserved = max(0.0, self._reserved - nbytes)

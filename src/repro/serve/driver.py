@@ -55,15 +55,26 @@ class WorkloadSpec:
     crashes: int = 0
     """Worker crashes to inject (on the first ``crashes`` requests'
     first attempts)."""
+    zipf_s: float = 0.0
+    """Zipf skew for pattern choice: > 0 draws pattern ``r`` (1-based
+    rank in :attr:`patterns`) with weight ``1/r**zipf_s`` instead of
+    round-robin — the skewed mix that makes work sharing and result
+    caching pay off (hot patterns repeat)."""
 
     def build(self) -> list[QueryRequest]:
         """Materialise the request list (deterministic in ``seed``)."""
         rng = random.Random(self.seed)
         priorities = [Priority.HIGH, Priority.NORMAL, Priority.NORMAL,
                       Priority.LOW]
+        weights = ([1.0 / (r + 1) ** self.zipf_s
+                    for r in range(len(self.patterns))]
+                   if self.zipf_s > 0 else None)
         requests: list[QueryRequest] = []
         for i in range(self.num_queries):
-            name = self.patterns[i % len(self.patterns)]
+            if weights is not None:
+                name = rng.choices(self.patterns, weights=weights)[0]
+            else:
+                name = self.patterns[i % len(self.patterns)]
             pattern: QueryGraph | str = name
             if rng.random() < self.relabel_fraction:
                 base = get_query(name)
@@ -129,7 +140,10 @@ class LoadDriver:
                  trace: bool = False,
                  trace_max_events: int | None = 500_000,
                  metrics: MetricsRegistry | None = None,
-                 flight: FlightRecorder | None = None):
+                 flight: FlightRecorder | None = None,
+                 sharing: bool = False,
+                 max_share_group: int = 8,
+                 result_cache_bytes: float = 0.0):
         self.graph = graph
         self.spec = spec
         self.num_workers = num_workers
@@ -142,6 +156,9 @@ class LoadDriver:
         self.trace_max_events = trace_max_events
         self.metrics = metrics
         self.flight = flight
+        self.sharing = sharing
+        self.max_share_group = max_share_group
+        self.result_cache_bytes = result_cache_bytes
         self.service: QueryService | None = None
 
     def run(self, verify: bool = False,
@@ -161,7 +178,9 @@ class LoadDriver:
             tenant_max_inflight=self.tenant_max_inflight,
             injector=injector, trace=self.trace,
             trace_max_events=self.trace_max_events,
-            metrics=self.metrics, flight=self.flight)
+            metrics=self.metrics, flight=self.flight,
+            sharing=self.sharing, max_share_group=self.max_share_group,
+            result_cache_bytes=self.result_cache_bytes)
         self.service = service
         t0 = time.perf_counter()
         with service:
@@ -178,6 +197,23 @@ class LoadDriver:
                 requests, outcomes)
         return report
 
+    @staticmethod
+    def _canonical_rows(pattern, rows):
+        """Matches rebased from the request's vertex order to canonical
+        order — the shared frame in which any two isomorphic requests'
+        solo runs produce literally the same multiset."""
+        resolved = pattern if isinstance(pattern, QueryGraph) \
+            else get_query(pattern)
+        _, mapping = resolved.canonical_form()
+        n = resolved.num_vertices
+        out = []
+        for r in rows:
+            c = [0] * n
+            for v in range(n):
+                c[mapping[v]] = r[v]
+            out.append(tuple(c))
+        return sorted(out)
+
     def _verify(self, requests, outcomes) -> tuple[bool, list[str]]:
         """Check every completed request against its solo run."""
         solo_cache: dict[tuple, object] = {}
@@ -185,18 +221,34 @@ class LoadDriver:
         for req, outcome in zip(requests, outcomes):
             if outcome.status is not QueryStatus.COMPLETED:
                 continue
+            # collect changes the engine's allocation profile, so a
+            # count-only request must not reuse a collecting solo run
             key = (outcome.canonical_key, req.num_machines,
-                   req.workers_per_machine, req.partition_seed)
-            solo = solo_cache.get(key)
-            if solo is None:
-                solo = run_query_solo(self.graph, req,
-                                      default_config=self.default_config)
-                solo_cache[key] = solo
+                   req.workers_per_machine, req.partition_seed, req.collect)
+            cached = solo_cache.get(key)
+            if cached is None:
+                cached = (run_query_solo(self.graph, req,
+                                         default_config=self.default_config),
+                          req.pattern)
+                solo_cache[key] = cached
+            solo, solo_pattern = cached
             if outcome.count != solo.count:
                 failures.append(
                     f"{req.label}: served count {outcome.count} != solo "
                     f"{solo.count}")
+                continue
+            served = outcome.collected
+            if (served is not None and solo.collected is not None
+                    and self._canonical_rows(req.pattern, served)
+                    != self._canonical_rows(solo_pattern, solo.collected)):
+                failures.append(
+                    f"{req.label}: served match multiset differs from solo")
+            # a share-group member's report is the group's shared ledger
+            # and a result-cache hit carries no report at all — only solo
+            # runs pin the full simulated-metrics comparison
             if (outcome.result is not None and solo.result is not None
+                    and outcome.shared_group == 1
+                    and not outcome.result_cache_hit
                     and outcome.result.report.as_dict()
                     != solo.result.report.as_dict()):
                 failures.append(

@@ -45,6 +45,11 @@ class ServiceInstruments:
         self.plan_cache = registry.counter(
             "serve_plan_cache_total", "canonical plan-cache lookups",
             ("result",))
+        self.result_cache = registry.counter(
+            "serve_result_cache_total", "result-cache lookups", ("result",))
+        self.share_group = registry.histogram(
+            "serve_share_group_size",
+            "requests per dispatched share group", reservoir=10_000)
         self.crashes = registry.counter(
             "serve_worker_crashes_total", "worker threads lost mid-query")
         self.retries = registry.counter(
@@ -73,3 +78,10 @@ class ServiceInstruments:
     def plan_cache_lookup(self, hit: bool) -> None:
         self.plan_cache.inc_child(
             self.plan_cache.labels("hit" if hit else "miss"))
+
+    def result_cache_lookup(self, hit: bool) -> None:
+        self.result_cache.inc_child(
+            self.result_cache.labels("hit" if hit else "miss"))
+
+    def observe_share_group(self, size: int) -> None:
+        self.share_group.observe(float(size))

@@ -15,6 +15,12 @@ Plans are immutable at execution time (``translate`` builds fresh
 operator state per run), so one cached plan can back many concurrent
 executions.
 
+Alongside each plan the cache can hold its **prefix signature** — the
+tuple of frozen operator specs from ``translate()`` that the sharing
+layer (:mod:`repro.serve.sharing`) compares to find common star-scan /
+PULL-EXTEND prefixes across concurrently queued requests.  Signatures
+ride the same LRU entry so they are evicted together with their plan.
+
 The cache is a lock-guarded LRU; hit/miss/eviction counters feed the
 service metrics snapshot (the paper-style "cache hit rate" of the
 serving tier).
@@ -32,7 +38,13 @@ __all__ = ["PlanCacheStats", "PlanCache"]
 
 
 class PlanCacheStats:
-    """Thread-safe hit/miss/eviction counters."""
+    """Thread-safe hit/miss/eviction counters.
+
+    Every read goes through the stats lock: an unlocked ``as_dict`` can
+    observe a torn snapshot (a ``hits`` increment without the matching
+    recency move, or mid-update ``inserts``/``evictions``), which the
+    concurrent-hammer regression test exercises.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -40,20 +52,25 @@ class PlanCacheStats:
         self.misses = 0
         self.evictions = 0
         self.inserts = 0
+        self.overwrites = 0
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "inserts": self.inserts,
-                "hit_rate": self.hit_rate}
+        with self._lock:
+            total = self.hits + self.misses
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions, "inserts": self.inserts,
+                    "overwrites": self.overwrites,
+                    "hit_rate": self.hits / total if total else 0.0}
 
 
 class PlanCache:
-    """LRU cache of canonical-form execution plans."""
+    """LRU cache of canonical-form execution plans (+ prefix signatures)."""
 
     def __init__(self, capacity: int = 128):
         if capacity < 1:
@@ -61,7 +78,8 @@ class PlanCache:
         self.capacity = capacity
         self.stats = PlanCacheStats()
         self._lock = threading.Lock()
-        self._plans: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
+        # key -> (plan, prefix signature | None)
+        self._plans: OrderedDict[tuple, tuple] = OrderedDict()
 
     @staticmethod
     def key(canonical_key: str, dataset: str, graph: Graph,
@@ -73,27 +91,50 @@ class PlanCache:
     def get(self, key: tuple) -> ExecutionPlan | None:
         """Look up a plan, refreshing its recency."""
         with self._lock:
-            plan = self._plans.get(key)
-            if plan is None:
+            entry = self._plans.get(key)
+            if entry is None:
                 with self.stats._lock:
                     self.stats.misses += 1
                 return None
             self._plans.move_to_end(key)
         with self.stats._lock:
             self.stats.hits += 1
-        return plan
+        return entry[0]
 
-    def put(self, key: tuple, plan: ExecutionPlan) -> None:
-        """Insert a plan, evicting the least recently used beyond capacity."""
+    def signature(self, key: tuple):
+        """The cached prefix signature for ``key``, or ``None``.
+
+        Does not touch hit/miss counters or recency — signature lookups
+        are a sharing-layer side channel, not plan-cache traffic.
+        """
         with self._lock:
-            if key not in self._plans and len(self._plans) >= self.capacity:
+            entry = self._plans.get(key)
+            return entry[1] if entry is not None else None
+
+    def put(self, key: tuple, plan: ExecutionPlan,
+            signature=None) -> None:
+        """Insert a plan, evicting the least recently used beyond capacity.
+
+        Overwriting an existing key counts as an ``overwrite``, not a
+        fresh ``insert`` — concurrent executors racing the same miss
+        used to inflate ``inserts`` past the number of distinct plans.
+        """
+        with self._lock:
+            fresh = key not in self._plans
+            if fresh and len(self._plans) >= self.capacity:
                 self._plans.popitem(last=False)
                 with self.stats._lock:
                     self.stats.evictions += 1
-            self._plans[key] = plan
+            if not fresh and signature is None:
+                # keep an already-attached signature on plain overwrites
+                signature = self._plans[key][1]
+            self._plans[key] = (plan, signature)
             self._plans.move_to_end(key)
         with self.stats._lock:
-            self.stats.inserts += 1
+            if fresh:
+                self.stats.inserts += 1
+            else:
+                self.stats.overwrites += 1
 
     def __len__(self) -> int:
         with self._lock:

@@ -43,7 +43,8 @@ class QueueEntry:
 
     __slots__ = ("handle", "estimate_bytes", "submit_t", "abs_deadline",
                  "not_before", "attempts", "cancel_reason", "pattern",
-                 "graph", "token", "dispatch_t")
+                 "graph", "token", "dispatch_t", "canonical_key",
+                 "config_fp", "plan_key", "group")
 
     def __init__(self, handle: QueryHandle, estimate_bytes: float,
                  submit_t: float, abs_deadline: float):
@@ -65,6 +66,14 @@ class QueueEntry:
         self.token = None
         #: service-clock time of the latest dispatch
         self.dispatch_t = 0.0
+        #: canonical pattern key (resolved at submission)
+        self.canonical_key: str | None = None
+        #: fingerprint of the effective engine config (share grouping)
+        self.config_fp: str | None = None
+        #: plan-cache key (resolved at submission; prefix-signature lookups)
+        self.plan_key: tuple | None = None
+        #: the ShareGroup this entry is currently dispatched in, if any
+        self.group = None
 
     @property
     def sort_key(self) -> tuple[float, int]:
@@ -123,11 +132,52 @@ class MultiQueue:
                     continue
                 if not eligible(entry):
                     continue
-                self._credits[p] -= 1
-                if all(c <= 0 for c in self._credits.values()):
+                popped = self._remove_at(p, i)
+                # clamp at zero: a pop from an exhausted class only happens
+                # as a fallback (every credited class had nothing
+                # dispatchable), and must not sink its credits further —
+                # unbounded negative credits would silently collapse the
+                # weighted ratio into strict alternation
+                self._credits[p] = max(0, self._credits[p] - 1)
+                # replenish once every *non-empty* class is exhausted; an
+                # idle class's unspent credits must not block the cycle
+                # (idle-HIGH starvation bug)
+                if all(self._credits[q] <= 0 for q in Priority
+                       if self._queues[q]):
                     self._credits = dict(self.weights)
-                return self._remove_at(p, i)
+                return popped
         return None
+
+    def pop_matching(self, now: float,
+                     eligible: Callable[[QueueEntry], bool],
+                     match: Callable[[QueueEntry], bool],
+                     limit: int) -> list[QueueEntry]:
+        """Remove up to ``limit`` dispatchable entries satisfying ``match``.
+
+        Used by the dispatcher to gather share-group followers behind an
+        already-popped leader: followers piggyback on the leader's engine
+        run, so **no WRR credits are charged** — grouping strictly reduces
+        the work done per dispatch, it never lets a class overdraw its
+        weight.  Scans priorities urgent-first and EDF within, honouring
+        retry backoff and the dispatcher's eligibility predicate.
+        """
+        taken: list[QueueEntry] = []
+        for p in Priority:
+            if len(taken) >= limit:
+                break
+            entries = self._queues[p]
+            keep_e, keep_k = [], []
+            for entry, key in zip(entries, self._keys[p]):
+                if (len(taken) < limit and entry.not_before <= now
+                        and entry.cancel_reason is None
+                        and eligible(entry) and match(entry)):
+                    taken.append(entry)
+                else:
+                    keep_e.append(entry)
+                    keep_k.append(key)
+            self._queues[p] = keep_e
+            self._keys[p] = keep_k
+        return taken
 
     def pop_where(self, predicate: Callable[[QueueEntry], bool]) -> list[QueueEntry]:
         """Remove and return every queued entry matching ``predicate``

@@ -55,6 +55,9 @@ from .plancache import PlanCache
 from .queueing import MultiQueue, QueueEntry
 from .request import (Priority, QueryHandle, QueryOutcome, QueryRequest,
                       QueryStatus, ResultChunk)
+from .resultcache import ResultCache
+from .sharing import (ShareGroup, config_fingerprint, group_prefix_len,
+                      signature_of_plan)
 from .stats import LatencyRecorder, ServiceStats
 from .tracing import ENGINE, ServiceTracer
 
@@ -179,12 +182,16 @@ class Executor:
         if plan is None:
             plan = engine.plan(canon)
             if self.plan_cache is not None and key is not None:
-                self.plan_cache.put(key, plan)
+                # the prefix signature rides the cache entry so the
+                # dispatcher can group future requests without replanning
+                self.plan_cache.put(key, plan,
+                                    signature=signature_of_plan(plan))
         t1 = time.perf_counter()
 
         result = engine.run(plan=plan)
         t2 = time.perf_counter()
 
+        canonical_matches = result.matches
         if result.matches is not None and mapping != tuple(
                 range(pattern.num_vertices)):
             # cached plans run the canonical pattern; map matches back to
@@ -199,8 +206,30 @@ class Executor:
             "plan_cache_hit": cache_hit,
             "plan_s": t1 - t0,
             "execute_s": t2 - t1,
+            # pre-remap matches, for the result cache (canonical order)
+            "canonical_matches": canonical_matches,
         }
         return result, info
+
+    def resolve_plan(self, req: QueryRequest, graph: Graph,
+                     canon: QueryGraph, key: tuple):
+        """Plan-cache get-or-plan for one share-group member.
+
+        Returns ``(plan, cache_hit, plan_seconds)``; planning happens on
+        a cluster-bound engine so the cardinality estimator sees the
+        right graph, exactly as :meth:`execute` does.
+        """
+        t0 = time.perf_counter()
+        plan = self.plan_cache.get(key) if self.plan_cache is not None \
+            else None
+        hit = plan is not None
+        if plan is None:
+            cluster = self._cluster(graph, req)
+            plan = HugeEngine(cluster, self._config(req, None)).plan(canon)
+            if self.plan_cache is not None:
+                self.plan_cache.put(key, plan,
+                                    signature=signature_of_plan(plan))
+        return plan, hit, time.perf_counter() - t0
 
 
 def run_query_solo(graph: Graph, request: QueryRequest,
@@ -266,6 +295,9 @@ class _Worker(threading.Thread):
                 self.crashed = True
                 return
             self.current = None
+            with svc._cond:
+                svc._dispatch_units -= 1
+                svc._cond.notify_all()
 
 
 class QueryService:
@@ -286,10 +318,20 @@ class QueryService:
                  trace_max_events: int | None = None,
                  metrics: MetricsRegistry | None = None,
                  flight: FlightRecorder | None = None,
-                 poll_interval_s: float = 0.005):
+                 poll_interval_s: float = 0.005,
+                 sharing: bool = False,
+                 max_share_group: int = 8,
+                 result_cache_bytes: float = 0.0):
         if num_workers < 1:
             raise ValueError("need at least one worker")
+        if max_share_group < 1:
+            raise ValueError("max_share_group must be positive")
         self.num_workers = num_workers
+        #: batch concurrently queued requests with shared plan prefixes
+        #: into one engine run (opt-in: a shared run's simulated report
+        #: is the group's ledger, not any member's solo report)
+        self.sharing = sharing
+        self.max_share_group = max_share_group
         self.default_config = default_config
         self.cost = cost
         self.max_retries = max_retries
@@ -299,6 +341,9 @@ class QueryService:
         self.injector = injector
         self.plan_cache = PlanCache(plan_cache_capacity)
         self.admission = AdmissionController(memory_budget_bytes)
+        self.result_cache: ResultCache | None = (
+            ResultCache(result_cache_bytes, ledger=self.admission)
+            if result_cache_bytes > 0 else None)
         self.tracer: ServiceTracer | None = (
             ServiceTracer(num_workers, max_events=trace_max_events)
             if trace else None)
@@ -308,6 +353,7 @@ class QueryService:
         self.flight = flight
 
         self._graphs: dict[str, Graph] = dict(datasets or {})
+        self._graph_versions: dict[str, int] = {n: 0 for n in self._graphs}
         self._queue = MultiQueue()
         self._ready: Queue = Queue()
         self._cond = threading.Condition()
@@ -320,6 +366,10 @@ class QueryService:
 
         self._workers: list[_Worker] = []
         self._dispatcher: threading.Thread | None = None
+        #: dispatch units (solo entries or whole share groups) occupying
+        #: workers right now — a group holds ONE unit but all its members
+        #: stay individually in ``_inflight``
+        self._dispatch_units = 0
         self._inflight: dict[int, QueueEntry] = {}
         self._tenant_inflight: dict[str, int] = {}
         self._entries: dict[int, QueueEntry] = {}  # seq -> live entry
@@ -327,7 +377,8 @@ class QueryService:
         self._counters = {
             "submitted": 0, "completed": 0, "cancelled": 0, "failed": 0,
             "rejected": 0, "retries": 0, "worker_crashes": 0,
-            "delivery_violations": 0,
+            "delivery_violations": 0, "shared_groups": 0,
+            "shared_requests": 0, "result_cache_hits": 0,
         }
         # when a registry is attached, the recorders share its histograms:
         # snapshot percentiles and the exposition report the same samples
@@ -342,8 +393,30 @@ class QueryService:
     # -- lifecycle -------------------------------------------------------------
 
     def register_dataset(self, name: str, graph: Graph) -> None:
-        """Register (or replace) a data graph under ``name``."""
+        """Register (or replace) a data graph under ``name``.
+
+        Re-registering bumps the dataset's **graph version**: cached
+        results keyed on the old version become unreachable and are
+        eagerly invalidated.
+        """
+        fresh = name not in self._graphs
         self._graphs[name] = graph
+        self._graph_versions[name] = 0 if fresh else (
+            self._graph_versions.get(name, 0) + 1)
+        if not fresh and self.result_cache is not None:
+            self.result_cache.invalidate(dataset=name)
+
+    def graph_version(self, name: str) -> int:
+        """Current version of a registered dataset (result-cache keying)."""
+        return self._graph_versions.get(name, 0)
+
+    def invalidate_results(self, dataset: str | None = None,
+                           tenant: str | None = None) -> int:
+        """Explicitly drop cached results (both filters ``None`` = all);
+        returns how many entries were invalidated."""
+        if self.result_cache is None:
+            return 0
+        return self.result_cache.invalidate(dataset=dataset, tenant=tenant)
 
     def start(self) -> "QueryService":
         if self._started:
@@ -381,6 +454,10 @@ class QueryService:
             self._ready.put(_SHUTDOWN)
         for worker in self._workers:
             worker.join(timeout=5.0)
+        if self.result_cache is not None:
+            # drop all cached results so the admission ledger drains to
+            # zero (the serving memory oracle asserts this post-stop)
+            self.result_cache.clear()
         self._stopped = True
 
     def __enter__(self) -> "QueryService":
@@ -441,6 +518,13 @@ class QueryService:
         entry = QueueEntry(handle, estimate, now, deadline)
         entry.pattern = pattern
         entry.graph = graph
+        if self.sharing or self.result_cache is not None:
+            base = request.config or self.default_config or EngineConfig()
+            entry.canonical_key = pattern.canonical_key()
+            entry.config_fp = config_fingerprint(base)
+            entry.plan_key = PlanCache.key(entry.canonical_key,
+                                           request.dataset, graph,
+                                           request.num_machines)
 
         if self.flight is not None:
             self.flight.begin(request.seq, request.label,
@@ -451,10 +535,16 @@ class QueryService:
         if self.obs is not None:
             self.obs.submitted.inc_child(
                 self.obs.submitted.labels(request.tenant))
+
+        if self.result_cache is not None and not request.stream:
+            cached = self._try_result_cache(entry)
+            if cached is not None:
+                return handle
+
         with self._cond:
             self._counters["submitted"] += 1
             if not self.admission.admissible(estimate):
-                self.admission.stats.rejected += 1
+                self.admission.reject()
                 self._counters["rejected"] += 1
                 if self.obs is not None:
                     self.obs.admission_decision("reject", "memory_bound")
@@ -490,6 +580,81 @@ class QueryService:
             self.flight.event(request.seq, "queued",
                               priority=request.priority.name)
         return handle
+
+    # -- result cache ----------------------------------------------------------
+
+    def _result_cache_key(self, entry: QueueEntry) -> tuple:
+        req = entry.handle.request
+        return ResultCache.key(
+            entry.canonical_key, req.dataset,
+            self._graph_versions.get(req.dataset, 0), req.tenant,
+            req.num_machines, req.workers_per_machine, req.partition_seed,
+            entry.config_fp)
+
+    def _try_result_cache(self, entry: QueueEntry) -> QueryOutcome | None:
+        """Serve a request straight from the result cache, if possible.
+
+        A hit finishes the handle with a ``COMPLETED`` outcome carrying
+        the cached count (and matches remapped to the request's vertex
+        order) without ever queueing or touching the engine.
+        """
+        assert self.result_cache is not None
+        req = entry.handle.request
+        key = self._result_cache_key(entry)
+        hit = self.result_cache.get(key, need_matches=req.collect)
+        if self.obs is not None:
+            self.obs.result_cache_lookup(hit is not None)
+        if hit is None:
+            return None
+        matches = None
+        if req.collect:
+            _canon, mapping = entry.pattern.canonical_form()
+            n = entry.pattern.num_vertices
+            if mapping == tuple(range(n)):
+                matches = list(hit.matches)
+            else:
+                matches = [tuple(m[mapping[v]] for v in range(n))
+                           for m in hit.matches]
+        now = self._now()
+        outcome = QueryOutcome(
+            status=QueryStatus.COMPLETED, count=hit.count,
+            matches=matches, result_cache_hit=True,
+            canonical_key=entry.canonical_key, attempts=0,
+            total_s=now - entry.submit_t)
+        with self._cond:
+            self._counters["submitted"] += 1
+            self._counters["result_cache_hits"] += 1
+            delivered = entry.handle._finish(outcome)
+            if delivered:
+                self._counters["completed"] += 1
+            else:
+                self._counters["delivery_violations"] += 1
+        if delivered:
+            self._latency.add(outcome.total_s)
+        if self.obs is not None and delivered:
+            self.obs.requests.inc_child(self.obs.requests.labels("completed"))
+            self.obs.completed.inc_child(self.obs.completed.labels(req.tenant))
+        if self.flight is not None:
+            self.flight.finish(req.seq, "completed", count=hit.count,
+                               result_cache_hit=True,
+                               total_s=outcome.total_s)
+        if self.tracer:
+            self.tracer.instant("result cache hit", ENGINE,
+                                {"request": req.label, "count": hit.count})
+        return outcome
+
+    def _store_result(self, entry: QueueEntry, count: int,
+                      canonical_matches: list | None) -> None:
+        """Insert a completed request's answer into the result cache."""
+        if self.result_cache is None or entry.canonical_key is None:
+            return
+        req = entry.handle.request
+        if req.stream:
+            return  # streamed matches are gone; nothing worth caching
+        self.result_cache.put(
+            self._result_cache_key(entry), count,
+            canonical_matches if req.collect else None,
+            dataset=req.dataset, tenant=req.tenant)
 
     def _cancel(self, handle: QueryHandle, reason: str) -> None:
         """Client-side cancel (QueryHandle.cancel routes here)."""
@@ -530,10 +695,46 @@ class QueryService:
         used = self._tenant_inflight.get(entry.handle.request.tenant, 0)
         return used < self.tenant_max_inflight
 
+    def _shareable_leader(self, entry: QueueEntry) -> bool:
+        """Whether a popped entry may lead a share group: deadlines stay
+        solo (a group run cannot abort for one member's deadline without
+        killing the others'), and streaming delivery stays solo."""
+        return (entry.canonical_key is not None
+                and not entry.handle.request.stream
+                and entry.abs_deadline == float("inf"))
+
+    def _share_match(self, leader: QueueEntry, leader_sig):
+        """Follower predicate: same dataset/cluster/config, and either the
+        same canonical pattern (full dedup — no signature needed) or a
+        plan-cache signature starting with the leader's scan spec."""
+        lreq = leader.handle.request
+
+        def match(e: QueueEntry) -> bool:
+            req = e.handle.request
+            if (e.canonical_key is None or req.stream
+                    or e.abs_deadline != float("inf")
+                    or e.graph is not leader.graph
+                    or req.dataset != lreq.dataset
+                    or req.num_machines != lreq.num_machines
+                    or req.workers_per_machine != lreq.workers_per_machine
+                    or req.partition_seed != lreq.partition_seed
+                    or e.config_fp != leader.config_fp):
+                return False
+            if e.canonical_key == leader.canonical_key:
+                return True  # isomorphic: identical canonical plan
+            if leader_sig is None:
+                return False
+            sig = self.plan_cache.signature(e.plan_key)
+            return sig is not None and sig[0] == leader_sig[0]
+
+        return match
+
     def _fill_workers(self) -> None:
         while True:
             with self._cond:
-                if len(self._inflight) >= self.num_workers:
+                # groups occupy ONE worker but many inflight entries, so
+                # the gate counts dispatch units, not inflight requests
+                if self._dispatch_units >= self.num_workers:
                     return
                 now = self._now()
                 entry = self._queue.pop_eligible(
@@ -542,27 +743,77 @@ class QueryService:
                                         e.estimate_bytes)))
                 if entry is None:
                     return
-                ok = self.admission.try_reserve(entry.estimate_bytes)
-                assert ok  # single dispatcher; workers only release
-                entry.attempts += 1
-                entry.dispatch_t = now
+                members = [entry]
+                if (self.sharing and self.max_share_group > 1
+                        and self._shareable_leader(entry)):
+                    leader_sig = self.plan_cache.signature(entry.plan_key)
+                    extra_bytes = entry.estimate_bytes
+                    extra_tenants = {entry.handle.request.tenant: 1}
+
+                    def eligible(e: QueueEntry) -> bool:
+                        # cumulative: budget/tenant headroom shrinks with
+                        # every follower taken ahead of this one
+                        tenant = e.handle.request.tenant
+                        used = (self._tenant_inflight.get(tenant, 0)
+                                + extra_tenants.get(tenant, 0))
+                        if (self.tenant_max_inflight is not None
+                                and used >= self.tenant_max_inflight):
+                            return False
+                        return self.admission.fits_now(
+                            extra_bytes + e.estimate_bytes)
+
+                    followers = self._queue.pop_matching(
+                        now, eligible, self._share_match(entry, leader_sig),
+                        self.max_share_group - 1)
+                    for f in followers:
+                        extra_bytes += f.estimate_bytes
+                        t = f.handle.request.tenant
+                        extra_tenants[t] = extra_tenants.get(t, 0) + 1
+                    members += followers
                 req = entry.handle.request
-                crash_after = (self.injector.arm(req.seq, entry.attempts)
-                               if self.injector else None)
-                deadline = (entry.abs_deadline
-                            if entry.abs_deadline != float("inf") else None)
-                entry.token = _AttemptToken(deadline, crash_after,
-                                            self.injector)
-                self._inflight[req.seq] = entry
-                tenant = req.tenant
-                self._tenant_inflight[tenant] = \
-                    self._tenant_inflight.get(tenant, 0) + 1
+                group = None
+                if len(members) > 1:
+                    crash_after = (self.injector.arm(req.seq,
+                                                     entry.attempts + 1)
+                                   if self.injector else None)
+                    group = ShareGroup(members, _AttemptToken(
+                        None, crash_after, self.injector))
+                    self._counters["shared_groups"] += 1
+                    self._counters["shared_requests"] += len(members)
+                for e in members:
+                    ok = self.admission.try_reserve(e.estimate_bytes)
+                    assert ok  # single dispatcher; workers only release
+                    e.attempts += 1
+                    e.dispatch_t = now
+                    e.group = group
+                    if group is None:
+                        crash_after = (self.injector.arm(req.seq,
+                                                         e.attempts)
+                                       if self.injector else None)
+                        deadline = (e.abs_deadline
+                                    if e.abs_deadline != float("inf")
+                                    else None)
+                        e.token = _AttemptToken(deadline, crash_after,
+                                                self.injector)
+                    else:
+                        # a member's token is only a delivery-time cancel
+                        # flag: cancelling one member must not abort the
+                        # group's engine run (group.token does that)
+                        e.token = CancelToken()
+                    seq = e.handle.request.seq
+                    self._inflight[seq] = e
+                    tenant = e.handle.request.tenant
+                    self._tenant_inflight[tenant] = \
+                        self._tenant_inflight.get(tenant, 0) + 1
+                self._dispatch_units += 1
             if self.tracer:
-                self.tracer.span(
-                    f"queue {req.label}", ENGINE,
-                    entry.submit_t - self._start_t, now - self._start_t,
-                    {"priority": req.priority.name, "tenant": tenant,
-                     "attempt": entry.attempts})
+                for e in members:
+                    r = e.handle.request
+                    self.tracer.span(
+                        f"queue {r.label}", ENGINE,
+                        e.submit_t - self._start_t, now - self._start_t,
+                        {"priority": r.priority.name, "tenant": r.tenant,
+                         "attempt": e.attempts})
                 self.tracer.counter("queue depth", ENGINE,
                                     self._queue.depths())
                 self.tracer.counter(
@@ -573,10 +824,19 @@ class QueryService:
                     self.obs.inflight.set(len(self._inflight))
                     self.obs.observe_queue_depths(self._queue.depths())
                 self.obs.reserved_bytes.set(self.admission.reserved_bytes)
+                if group is not None:
+                    self.obs.observe_share_group(len(members))
             if self.flight is not None:
-                self.flight.event(req.seq, "dispatched",
-                                  attempt=entry.attempts,
-                                  queue_wait_s=now - entry.submit_t)
+                for e in members:
+                    self.flight.event(e.handle.request.seq, "dispatched",
+                                      attempt=e.attempts,
+                                      queue_wait_s=now - e.submit_t)
+                if group is not None:
+                    for e in members:
+                        self.flight.event(e.handle.request.seq,
+                                          "share_group",
+                                          size=len(members),
+                                          leader=req.seq)
             self._ready.put(entry)
 
     def _sweep_queue(self) -> None:
@@ -602,6 +862,10 @@ class QueryService:
             for entry in self._inflight.values():
                 if entry.token is not None:
                     entry.token.cancel(reason)
+                if entry.group is not None:
+                    # member tokens are delivery-time flags only; the
+                    # group token is what the engine actually polls
+                    entry.group.token.cancel(reason)
             for entry in list(self._entries.values()):
                 if entry.handle.request.seq not in self._inflight:
                     entry.cancel_reason = reason
@@ -623,11 +887,17 @@ class QueryService:
             if self.obs is not None:
                 self.obs.crashes.inc()
             if entry is not None:
-                if self.flight is not None:
-                    self.flight.crash(entry.handle.request.seq,
-                                      worker=worker.wid,
-                                      attempt=entry.attempts)
-                self._retry_after_crash(entry)
+                with self._cond:
+                    self._dispatch_units -= 1
+                victims = (entry.group.members if entry.group is not None
+                           else [entry])
+                for victim in victims:
+                    victim.group = None
+                    if self.flight is not None:
+                        self.flight.crash(victim.handle.request.seq,
+                                          worker=worker.wid,
+                                          attempt=victim.attempts)
+                    self._retry_after_crash(victim)
 
     def _retry_after_crash(self, entry: QueueEntry) -> None:
         req = entry.handle.request
@@ -678,6 +948,9 @@ class QueryService:
         ``WorkerCrashError`` deliberately propagates — the caller treats
         it as thread death.
         """
+        if entry.group is not None:
+            self._run_group(worker, entry.group)
+            return
         req = entry.handle.request
         entry.handle._set_status(QueryStatus.RUNNING)
         if self.flight is not None:
@@ -747,6 +1020,7 @@ class QueryService:
             if self.flight is not None:
                 self.flight.event(req.seq, "streamed", chunks=streamed)
         now = self._now()
+        self._store_result(entry, result.count, info["canonical_matches"])
         self._finish_entry(entry, QueryOutcome(
             status=QueryStatus.COMPLETED, count=result.count, result=result,
             attempts=entry.attempts,
@@ -755,6 +1029,125 @@ class QueryService:
             queue_wait_s=entry.dispatch_t - entry.submit_t,
             plan_s=info["plan_s"], execute_s=info["execute_s"],
             total_s=now - entry.submit_t))
+
+    def _run_group(self, worker: _Worker, group: ShareGroup) -> None:
+        """Execute one share group on ``worker`` (its thread).
+
+        The engine runs the members' common plan prefix once and routes
+        each member's suffix results into its own sink; every member is
+        then delivered individually — a client-cancelled member gets a
+        ``CANCELLED`` outcome while the rest of the group completes.
+        """
+        members = group.members
+        reqs = [e.handle.request for e in members]
+        for e, req in zip(members, reqs):
+            e.handle._set_status(QueryStatus.RUNNING)
+            if self.flight is not None:
+                self.flight.event(req.seq, "executing", worker=worker.wid,
+                                  attempt=e.attempts,
+                                  share_group=len(members))
+        leader, req0 = members[0], reqs[0]
+        t_run0 = self._now()
+        tr = self.tracer
+        tw0 = tr.now() if tr else 0.0
+        try:
+            executor = worker.executor
+            plans, mappings, hits, plan_times = [], [], [], []
+            for e, req in zip(members, reqs):
+                canon, mapping = e.pattern.canonical_form()
+                plan, hit, plan_s = executor.resolve_plan(
+                    req, e.graph, canon, e.plan_key)
+                plans.append(plan)
+                mappings.append(mapping)
+                hits.append(hit)
+                plan_times.append(plan_s)
+            cluster = executor._cluster(leader.graph, req0)
+            base = req0.config or executor.default_config or EngineConfig()
+            engine = HugeEngine(cluster, replace(
+                base, collect_results=False, cancellation=group.token))
+            group.prefix_len = group_prefix_len(
+                [signature_of_plan(p) for p in plans])
+            t_exec0 = self._now()
+            results = engine.run_shared(
+                plans, collects=[r.collect for r in reqs])
+        except WorkerCrashError:
+            raise
+        except QueryCancelledError as exc:
+            now = self._now()
+            for e in members:
+                e.group = None
+                self._finish_entry(e, QueryOutcome(
+                    status=QueryStatus.CANCELLED, error=exc.reason,
+                    attempts=e.attempts, shared_group=len(members),
+                    queue_wait_s=e.dispatch_t - e.submit_t,
+                    execute_s=now - t_run0, total_s=now - e.submit_t))
+            if tr:
+                tr.span(f"execute group#{req0.seq}", worker.wid, tw0,
+                        tr.now(), {"outcome": "cancelled",
+                                   "reason": exc.reason,
+                                   "size": len(members)})
+            return
+        except (ReproError, Exception) as exc:  # noqa: BLE001 - worker boundary
+            now = self._now()
+            for e in members:
+                e.group = None
+                self._finish_entry(e, QueryOutcome(
+                    status=QueryStatus.FAILED,
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts=e.attempts, shared_group=len(members),
+                    queue_wait_s=e.dispatch_t - e.submit_t,
+                    execute_s=now - t_run0, total_s=now - e.submit_t))
+            if tr:
+                tr.span(f"execute group#{req0.seq}", worker.wid, tw0,
+                        tr.now(), {"outcome": "failed", "error": str(exc),
+                                   "size": len(members)})
+            return
+
+        execute_s = self._now() - t_exec0
+        if self.obs is not None:
+            for hit in hits:
+                self.obs.plan_cache_lookup(hit)
+        if tr:
+            tr.span(f"execute group#{req0.seq}", worker.wid, tw0, tr.now(),
+                    {"size": len(members),
+                     "counts": [r.count for r in results]})
+        now = self._now()
+        for e, req, mapping, hit, plan_s, result in zip(
+                members, reqs, mappings, hits, plan_times, results):
+            e.group = None
+            canonical_matches = result.matches
+            n = e.pattern.num_vertices
+            if result.matches is not None and mapping != tuple(range(n)):
+                result.matches = [
+                    tuple(m[mapping[v]] for v in range(n))
+                    for m in result.matches
+                ]
+            reason = None
+            if e.token is not None and e.token.cancelled:
+                reason = e.token.reason
+            elif e.cancel_reason is not None:
+                reason = e.cancel_reason
+            if reason is not None:
+                self._finish_entry(e, QueryOutcome(
+                    status=QueryStatus.CANCELLED, error=reason,
+                    attempts=e.attempts, shared_group=len(members),
+                    queue_wait_s=e.dispatch_t - e.submit_t,
+                    execute_s=execute_s, total_s=now - e.submit_t))
+                continue
+            if self.flight is not None:
+                self.flight.event(req.seq, "executed",
+                                  execute_s=execute_s, count=result.count,
+                                  share_group=len(members),
+                                  sim_time_s=result.report.total_time_s)
+            self._store_result(e, result.count,
+                              canonical_matches if req.collect else None)
+            self._finish_entry(e, QueryOutcome(
+                status=QueryStatus.COMPLETED, count=result.count,
+                result=result, attempts=e.attempts, plan_cache_hit=hit,
+                shared_group=len(members), canonical_key=e.canonical_key,
+                queue_wait_s=e.dispatch_t - e.submit_t,
+                plan_s=plan_s, execute_s=execute_s,
+                total_s=now - e.submit_t))
 
     def _stream_result(self, entry: QueueEntry,
                        result: EnumerationResult) -> int:
@@ -842,8 +1235,13 @@ class QueryService:
             queue_depth=depth,
             reserved_bytes=self.admission.reserved_bytes,
             budget_bytes=self.admission.budget_bytes,
-            admission=self.admission.stats.as_dict(),
+            admission=self.admission.stats_snapshot(),
             plan_cache=self.plan_cache.stats.as_dict(),
+            shared_groups=counters["shared_groups"],
+            shared_requests=counters["shared_requests"],
+            result_cache_hits=counters["result_cache_hits"],
+            result_cache=(self.result_cache.stats.as_dict()
+                          if self.result_cache is not None else {}),
             latency=self._latency.snapshot(),
             queue_wait=self._queue_wait.snapshot(),
             execute=self._execute.snapshot(),

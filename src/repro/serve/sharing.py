@@ -1,0 +1,135 @@
+"""Cross-query work sharing: shared-prefix grouping of concurrent requests.
+
+The plan cache already shares *plans* across isomorphic requests; this
+module shares *work*.  Concurrent queries whose translated dataflows
+begin with the same star scan and ``PULL-EXTEND`` chain recompute an
+identical stream of partial embeddings independently — a Zipf-skewed
+production mix over a small pattern set wastes most of its cycles on
+exactly this duplication.
+
+A plan's **prefix signature** is the tuple of frozen operator specs of
+its translated single-segment chain::
+
+    (ScanSpec, ExtendSpec, ExtendSpec, ...)
+
+The specs are frozen dataclasses carrying *everything* the operator does
+— schemas, extend indices, symmetry conditions, label constraints — so
+literal equality of two signature prefixes guarantees the engine would
+compute literally the same partial-embedding batches for both plans.
+That is the sufficient condition for sharing (the shape-level necessary
+condition is isomorphism of the cumulative join-unit prefixes, exposed
+by :func:`repro.query.decompose.join_unit_prefix_keys`).  Multi-segment
+plans (``PUSH-JOIN`` trees) never share: a pushing join is a global
+synchronisation barrier with its own buffers, so the signature is
+``None`` and the dispatcher runs them solo.
+
+At dispatch time the service pops a leader, then gathers compatible
+followers (same dataset / cluster shape / engine-config fingerprint,
+scan specs equal) into a :class:`ShareGroup`.  The engine executes the
+group's longest common spec prefix **once** into a tee buffer and
+replays it through each member's remaining extends into a per-member
+sink (:meth:`HugeEngine.run_shared`); full isomorphism dedup is the
+degenerate case where the common prefix is every member's whole chain
+and the suffixes are empty.
+"""
+
+from __future__ import annotations
+
+from ..core.dataflow import ScanSpec, Segment
+from ..core.plan.physical import ExecutionPlan
+from ..core.plan.translate import translate
+
+__all__ = ["plan_signature", "signature_of_plan", "common_prefix_len",
+           "group_prefix_len", "config_fingerprint", "ShareGroup"]
+
+#: one signature element per operator in the chain
+Signature = tuple
+
+
+def plan_signature(segment: Segment) -> Signature | None:
+    """The prefix signature of a translated segment, or ``None``.
+
+    Only single-segment chains (an edge ``SCAN`` plus ``PULL-EXTEND``\\ s)
+    are shareable; segment trees with ``PUSH-JOIN`` sources return
+    ``None``.
+    """
+    if segment.left is not None or not isinstance(segment.source, ScanSpec):
+        return None
+    return (segment.source, *segment.extends)
+
+
+def signature_of_plan(plan: ExecutionPlan) -> Signature | None:
+    """Translate ``plan`` and return its prefix signature (or ``None``).
+
+    ``translate`` is pure spec construction (no data touched), so this is
+    cheap enough to run once per plan-cache insert.
+    """
+    return plan_signature(translate(plan))
+
+
+def common_prefix_len(a: Signature | None, b: Signature | None) -> int:
+    """Length of the longest common leading run of operator specs
+    (``None`` — an unshareable plan — never has a common prefix)."""
+    if a is None or b is None:
+        return 0
+    n = 0
+    for sa, sb in zip(a, b):
+        if sa != sb:
+            break
+        n += 1
+    return n
+
+
+def group_prefix_len(signatures: list[Signature]) -> int:
+    """Longest spec prefix common to *all* signatures (0 if none)."""
+    if not signatures or signatures[0] is None:
+        return 0
+    n = len(signatures[0])
+    for sig in signatures[1:]:
+        n = min(n, common_prefix_len(signatures[0], sig))
+        if n == 0:
+            break
+    return n
+
+
+def config_fingerprint(config) -> str:
+    """Grouping key for an effective engine config.
+
+    Two requests may share an engine run only when every knob that
+    affects *what the engine computes or charges* is identical.  The
+    per-attempt fields are excluded: ``cancellation`` is ``repr=False``
+    on the dataclass, and ``collect_results`` is forced ``False`` here
+    because collection is per-member (each member gets its own sink).
+    """
+    from dataclasses import replace
+    return repr(replace(config, collect_results=False, cancellation=None))
+
+
+class ShareGroup:
+    """One dispatched share group: a leader plus piggybacking followers.
+
+    The group occupies a single worker (one dispatch unit) but every
+    member stays individually in flight — reservations, tenant counts,
+    cancellation flags and terminal delivery are all per member.  The
+    group's own :class:`~repro.core.cancel.CancelToken` is what the
+    engine polls; a member's private token is only a delivery-time flag
+    (cancelling one member must not abort the others' shared run).
+    """
+
+    __slots__ = ("members", "token", "prefix_len")
+
+    def __init__(self, members: list, token):
+        if not members:
+            raise ValueError("a share group needs at least one member")
+        self.members = members
+        self.token = token
+        #: filled in by the group runner once the plans are resolved
+        self.prefix_len = 0
+
+    @property
+    def leader(self):
+        return self.members[0]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)

@@ -116,6 +116,10 @@ class ServiceStats:
     budget_bytes: float = float("inf")
     admission: dict = field(default_factory=dict)
     plan_cache: dict = field(default_factory=dict)
+    shared_groups: int = 0
+    shared_requests: int = 0
+    result_cache_hits: int = 0
+    result_cache: dict = field(default_factory=dict)
     latency: dict = field(default_factory=dict)
     queue_wait: dict = field(default_factory=dict)
     execute: dict = field(default_factory=dict)
@@ -143,6 +147,10 @@ class ServiceStats:
                              else self.budget_bytes),
             "admission": dict(self.admission),
             "plan_cache": dict(self.plan_cache),
+            "shared_groups": self.shared_groups,
+            "shared_requests": self.shared_requests,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache": dict(self.result_cache),
             "latency": dict(self.latency),
             "queue_wait": dict(self.queue_wait),
             "execute": dict(self.execute),

@@ -11,11 +11,16 @@ service + its outcomes directly) — against the serving tier's contract:
   worker-crash retries);
 * ``ledger`` — the admission ledger drained back to zero after the run
   and never double-released (``underflows == 0``);
-* ``solo-identical`` — every completed query's count (and, where the
-  engine result is available, its full simulated metrics report) is
-  bit-identical to the same request executed solo through
-  :func:`~repro.serve.service.run_query_solo` — concurrency must not
-  change what any query computes;
+* ``solo-identical`` — every completed query's count and collected
+  match multiset (and, where the engine result is available, its full
+  simulated metrics report) is bit-identical to the same request
+  executed solo through :func:`~repro.serve.service.run_query_solo` —
+  concurrency, share-group execution and result-cache hits must not
+  change what any query computes.  Requests that executed in a share
+  group (``shared_group > 1``) or were served from the result cache
+  skip only the metrics-report comparison: their report is the group's
+  shared ledger (or absent), but count and matches must still be
+  bit-identical;
 * ``crash-recovered`` — every injected crash was observed
   (``worker_crashes >= injected``) and recovered: a crashed query either
   completed on a retry (``attempts > 1``) or failed only after
@@ -25,6 +30,7 @@ service + its outcomes directly) — against the serving tier's contract:
 from __future__ import annotations
 
 from ..graph.graph import Graph
+from ..query.pattern import QueryGraph, get_query
 from ..serve.driver import DriverReport
 from ..serve.request import QueryStatus
 from ..serve.service import run_query_solo
@@ -34,6 +40,22 @@ __all__ = ["SERVING_ORACLES", "check_service_run", "check_driver_report"]
 
 #: serving oracle names, in checking order
 SERVING_ORACLES = ("accounted", "ledger", "solo-identical", "crash-recovered")
+
+
+def _canonical_rows(pattern, rows):
+    """Matches rebased from the request's vertex order to canonical
+    order — isomorphic requests' solo runs agree in this frame."""
+    resolved = pattern if isinstance(pattern, QueryGraph) \
+        else get_query(pattern)
+    _, mapping = resolved.canonical_form()
+    n = resolved.num_vertices
+    out = []
+    for r in rows:
+        c = [0] * n
+        for v in range(n):
+            c[mapping[v]] = r[v]
+        out.append(tuple(c))
+    return sorted(out)
 
 
 def check_service_run(service, requests, outcomes, graph: Graph,
@@ -80,19 +102,33 @@ def check_service_run(service, requests, outcomes, graph: Graph,
         for req, outcome in zip(requests, outcomes):
             if outcome.status is not QueryStatus.COMPLETED:
                 continue
+            # collect changes the engine's allocation profile, so a
+            # count-only request must not reuse a collecting solo run
             key = (outcome.canonical_key, req.num_machines,
-                   req.workers_per_machine, req.partition_seed)
-            solo = solo_cache.get(key)
-            if solo is None:
-                solo = run_query_solo(graph, req,
-                                      default_config=default_config)
-                solo_cache[key] = solo
+                   req.workers_per_machine, req.partition_seed, req.collect)
+            cached = solo_cache.get(key)
+            if cached is None:
+                cached = (run_query_solo(graph, req,
+                                         default_config=default_config),
+                          req.pattern)
+                solo_cache[key] = cached
+            solo, solo_pattern = cached
             if outcome.count != solo.count:
                 failures.append(OracleFailure(
                     "solo-identical",
                     f"{req.label}: served {outcome.count} != solo "
                     f"{solo.count}"))
+                continue
+            served_matches = outcome.collected
+            if (served_matches is not None and solo.collected is not None
+                    and _canonical_rows(req.pattern, served_matches)
+                    != _canonical_rows(solo_pattern, solo.collected)):
+                failures.append(OracleFailure(
+                    "solo-identical",
+                    f"{req.label}: served match multiset differs from solo"))
             elif (outcome.result is not None
+                  and outcome.shared_group == 1
+                  and not outcome.result_cache_hit
                   and outcome.result.report.as_dict()
                   != solo.result.report.as_dict()):
                 failures.append(OracleFailure(

@@ -597,3 +597,155 @@ class TestServiceMetrics:
         assert report.verified is True
         assert reg.get("repro_serve_requests_total").get("completed") == 6
         assert flight.stats()["retained"] == 6
+
+
+class TestWrrCreditCycle:
+    """Regression tests for the credit-cycle fixes: replenish keys on
+    *non-empty* classes and credits clamp at zero."""
+
+    @staticmethod
+    def _backlog(q, counts):
+        for prio, n in counts.items():
+            for _ in range(n):
+                r = QueryRequest(pattern="t", dataset="d", priority=prio)
+                q.push(QueueEntry(QueryHandle(r), 0.0, 0.0, float("inf")))
+
+    def test_weighted_ratio_under_full_backlog(self):
+        """All classes saturated: pops follow the 4:2:1 weights exactly
+        over whole credit cycles (7 pops per cycle)."""
+        q = MultiQueue()
+        self._backlog(q, {Priority.HIGH: 90, Priority.NORMAL: 50,
+                          Priority.LOW: 30})
+        popped = [q.pop_eligible(1.0, lambda e: True).handle.request.priority
+                  for _ in range(70)]  # 10 full cycles
+        counts = {p: popped.count(p) for p in Priority}
+        assert counts == {Priority.HIGH: 40, Priority.NORMAL: 20,
+                          Priority.LOW: 10}
+
+    def test_idle_credited_class_does_not_stall_the_cycle(self):
+        """HIGH holds unspent credits but is empty; NORMAL and LOW must
+        keep draining at their 2:1 weights (the starvation bug: the old
+        replenish waited for *every* class to exhaust, so an idle HIGH
+        froze the cycle and credits went negative)."""
+        q = MultiQueue()
+        self._backlog(q, {Priority.NORMAL: 40, Priority.LOW: 40})
+        popped = []
+        for _ in range(60):
+            e = q.pop_eligible(1.0, lambda e: True)
+            assert e is not None, "cycle stalled with work queued"
+            popped.append(e.handle.request.priority)
+            assert all(c >= 0 for c in q._credits.values()), \
+                "credits must never go negative"
+        counts = {p: popped.count(p) for p in Priority}
+        assert counts[Priority.NORMAL] == 40
+        assert counts[Priority.LOW] == 20
+
+    def test_exhausted_class_pops_do_not_sink_credits(self):
+        """Popping from an exhausted class (fallback when credited
+        classes have nothing dispatchable) clamps at zero instead of
+        going negative and collapsing the weighted ratio."""
+        q = MultiQueue()
+        self._backlog(q, {Priority.LOW: 20})
+        for _ in range(20):
+            assert q.pop_eligible(1.0, lambda e: True) is not None
+            assert q._credits[Priority.LOW] >= 0
+
+
+class TestAdmissionEstimateBound:
+    def test_estimate_upper_bounds_measured_peak(self, er_graph):
+        """Cross-check against the Theorem-5.4 memory oracle: the
+        admission estimate (|V_q| tuple width) must still upper-bound
+        the engine's measured per-machine peak for every benchmark
+        pattern — the old ``deg``-width queue term was an over-charge on
+        high-degree graphs, not extra safety."""
+        from repro.query import get_query
+
+        cfg = EngineConfig()
+        for name in ("triangle", "q1", "q2", "q4", "q5"):
+            request = req(name, config=cfg)
+            outcome = run_query_solo(er_graph, request)
+            assert outcome.status is QueryStatus.COMPLETED
+            pattern = get_query(name)
+            estimate = estimate_query_bytes(
+                pattern.num_vertices, er_graph, cfg, request.num_machines)
+            per_machine = estimate / request.num_machines
+            peak = outcome.result.report.peak_memory_bytes
+            assert per_machine >= peak, (
+                f"{name}: estimate {per_machine:.0f}B/machine below "
+                f"measured peak {peak:.0f}B")
+
+
+class TestStatsConcurrency:
+    """Torn-snapshot regressions: stats reads race their writers."""
+
+    def test_plan_cache_stats_consistent_under_hammer(self):
+        cache = PlanCache(capacity=8)
+        stop = threading.Event()
+
+        def writer(tid):
+            i = 0
+            while not stop.is_set():
+                key = ("k", tid, i % 12)
+                if cache.get(key) is None:
+                    cache.put(key, plan=object())
+                i += 1
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(300):
+                snap = cache.stats.as_dict()
+                # the snapshot is taken under the stats lock, so the
+                # rate must equal hits/(hits+misses) *of the same snap*
+                # — a torn read once let them drift apart
+                total = snap["hits"] + snap["misses"]
+                if total:
+                    assert snap["hit_rate"] == snap["hits"] / total
+                assert 0.0 <= cache.stats.hit_rate <= 1.0
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        final = cache.stats.as_dict()
+        # every fresh insert adds an entry, every eviction removes one
+        assert final["inserts"] - final["evictions"] == len(cache)
+
+    def test_plan_cache_overwrites_counted_separately(self):
+        cache = PlanCache(capacity=2)
+        cache.put(("a",), plan=object())
+        cache.put(("a",), plan=object())  # overwrite, not an insert
+        snap = cache.stats.as_dict()
+        assert snap["inserts"] == 1
+        assert snap["overwrites"] == 1
+        cache.put(("b",), plan=object())
+        cache.put(("c",), plan=object())  # evicts LRU ("a")
+        snap = cache.stats.as_dict()
+        assert snap["inserts"] == 3
+        assert snap["evictions"] == 1
+
+    def test_admission_snapshot_consistent_under_hammer(self):
+        ctrl = AdmissionController(budget_bytes=1e9)
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                if ctrl.try_reserve(1000.0):
+                    ctrl.release(1000.0)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(300):
+                snap = ctrl.stats_snapshot()
+                assert snap["underflows"] == 0
+                assert snap["releases"] <= snap["admitted"]
+                assert snap["reserved_bytes"] >= 0.0
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert ctrl.stats_snapshot()["admitted"] == \
+            ctrl.stats_snapshot()["releases"]
