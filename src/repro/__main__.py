@@ -297,7 +297,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                              else float("inf")),
         tenant_max_inflight=args.tenant_cap, trace=bool(args.trace),
         metrics=registry, flight=flight, sharing=args.share,
-        result_cache_bytes=args.result_cache_mb * 1e6)
+        result_cache_bytes=args.result_cache_mb * 1e6, pool=args.pool)
     report = driver.run(verify=args.verify)
     if args.trace and driver.service and driver.service.tracer:
         driver.service.tracer.save(
@@ -316,7 +316,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     svc = report.service
     print(f"data graph: {graph}")
     print(f"workload: {spec.num_queries} queries on {args.service_workers} "
-          f"service workers, seed {spec.seed}")
+          f"{args.pool} service workers, seed {spec.seed}")
     by = ", ".join(f"{k}={v}" for k, v in sorted(
         report.counts_by_status.items()))
     print(f"outcomes: {by}")
@@ -502,6 +502,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--patterns", default=",".join(
         ("triangle", "q1", "q2", "q3", "q4")),
                    help="comma-separated benchmark pattern names to cycle")
+    s.add_argument("--pool", choices=("thread", "process"), default="thread",
+                   help="worker backend: GIL-bound threads or true "
+                        "multi-core processes over the shared-memory graph")
     s.add_argument("--service-workers", type=int, default=4,
                    help="worker threads in the service pool")
     s.add_argument("--budget-mb", type=float, default=None,

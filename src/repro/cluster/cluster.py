@@ -51,9 +51,11 @@ class Cluster:
     def __init__(self, graph: Graph, num_machines: int = 10,
                  workers_per_machine: int = 4,
                  cost: CostModel | None = None, seed: int = 0,
-                 labels: "np.ndarray | None" = None):
+                 labels: "np.ndarray | None" = None,
+                 owner: "np.ndarray | None" = None):
         self.cost = cost or CostModel()
-        self.pgraph = PartitionedGraph(graph, num_machines, seed=seed)
+        self.pgraph = PartitionedGraph(graph, num_machines, seed=seed,
+                                       owner=owner)
         self.metrics = Metrics(num_machines, workers_per_machine, self.cost)
         self.num_machines = num_machines
         self.workers_per_machine = workers_per_machine

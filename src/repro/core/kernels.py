@@ -36,9 +36,13 @@ __all__ = [
     "chain_add",
     "chained_costs",
     "chunk_charges",
+    "csr_gather",
     "edge_composite_index",
     "edge_member",
+    "edge_member_rows",
     "exact_chain_total",
+    "fused_extend_candidates",
+    "fused_verify_mask",
     "hash_destinations",
     "induced_bitrows",
     "intersect_sorted",
@@ -201,9 +205,20 @@ def edge_composite_index(graph) -> np.ndarray:
     which lets a batch's candidate membership tests collapse into a
     single vectorised ``searchsorted``.
     """
+    cached = getattr(graph, "_composite", None)
+    if cached is not None:
+        return cached
     n = graph.num_vertices
-    return (np.repeat(np.arange(n, dtype=np.int64),
+    comp = (np.repeat(np.arange(n, dtype=np.int64),
                       np.diff(graph.indptr)) * n + graph.indices)
+    try:
+        # deterministic derived data, so caching on the immutable graph
+        # is safe — and it lets every run (and every shm attach) share
+        # one O(E) haystack instead of rebuilding it per engine
+        graph._composite = comp
+    except AttributeError:  # pragma: no cover - non-Graph duck types
+        pass
+    return comp
 
 
 def edge_member(comp: np.ndarray, num_vertices: int, src: np.ndarray,
@@ -216,6 +231,96 @@ def edge_member(comp: np.ndarray, num_vertices: int, src: np.ndarray,
     idx = np.searchsorted(comp, q)
     idx[idx == len(comp)] = 0
     return comp[idx] == q
+
+
+def edge_member_rows(comp: np.ndarray, num_vertices: int, srcs: np.ndarray,
+                     dst: np.ndarray) -> np.ndarray:
+    """Conjunction of adjacency tests across the columns of ``srcs``.
+
+    Row ``i`` is ``True`` iff ``dst[i]`` is adjacent to **every**
+    ``srcs[i, w]`` — the multiway-membership core of PULL-EXTEND's
+    intersect stage, fused so all ``W`` columns resolve through **one**
+    ``searchsorted`` over the stacked composite keys instead of ``W``
+    separate :func:`edge_member` passes.  Bit-for-bit equal to ANDing the
+    per-column results (boolean algebra has no rounding).
+    """
+    E, W = srcs.shape
+    if E == 0 or W == 0:
+        return np.ones(E, dtype=bool)
+    if len(comp) == 0:
+        return np.zeros(E, dtype=bool)
+    q = (srcs * num_vertices + dst[:, None]).ravel()
+    idx = np.searchsorted(comp, q)
+    idx[idx == len(comp)] = 0
+    return (comp[idx] == q).reshape(E, W).all(axis=1)
+
+
+def csr_gather(indptr: np.ndarray, indices: np.ndarray,
+               vids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated adjacency lists of ``vids`` straight from CSR.
+
+    Returns ``(row_ids, flat)`` where ``flat`` is the neighbour ids of
+    ``vids[0]``, then ``vids[1]``, … and ``row_ids[i]`` names the input
+    row ``flat[i]`` came from — the candidate-list gather PULL-EXTEND
+    starts from (each row's smallest adjacency list).
+    """
+    L = indptr[vids + 1] - indptr[vids]
+    E = int(L.sum())
+    row_ids = np.repeat(np.arange(len(vids), dtype=np.int64), L)
+    ramp = np.arange(E, dtype=np.int64) - np.repeat(np.cumsum(L) - L, L)
+    flat = indices[np.repeat(indptr[vids], L) + ramp]
+    return row_ids, flat
+
+
+def fused_verify_mask(comp: np.ndarray, num_vertices: int,
+                      verts: np.ndarray, targets: np.ndarray,
+                      labels: np.ndarray | None = None,
+                      new_label: int | None = None) -> np.ndarray:
+    """Fused VERIFY: does each row's target close every pattern edge?
+
+    One stacked membership pass plus the label filter; replaces the
+    per-extend-column :func:`edge_member` loop with identical output.
+    """
+    found = edge_member_rows(comp, num_vertices, verts, targets)
+    if new_label is not None and labels is not None:
+        found &= labels[targets] == new_label
+    return found
+
+
+def fused_extend_candidates(indptr: np.ndarray, indices: np.ndarray,
+                            comp: np.ndarray, num_vertices: int,
+                            rows: np.ndarray, verts_sorted: np.ndarray,
+                            lt: Sequence[int], gt: Sequence[int],
+                            labels: np.ndarray | None = None,
+                            new_label: int | None = None,
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused PULL-EXTEND candidate pass: gather → membership → filters.
+
+    ``verts_sorted`` is each row's extend vertices sorted by adjacency
+    length (column 0 = the smallest list, the candidate source).  The
+    whole chain — CSR gather, remaining-list membership (one stacked
+    ``searchsorted``), label filter, distinctness against the partial
+    match, and the ``lt``/``gt`` symmetry-order masks — runs as mask
+    conjunctions over the gathered candidates with a **single** final
+    compaction.  Because every mask is boolean and conjunction order
+    cannot change the surviving set or its order, the returned
+    ``(cand, row_ids, counts)`` are element-for-element identical to the
+    historical multi-pass pipeline, so the per-row cost replay
+    (:func:`chained_costs` over ``counts``) stays bit-identical.
+    """
+    n = len(rows)
+    row_ids, cand = csr_gather(indptr, indices, verts_sorted[:, 0])
+    keep = edge_member_rows(comp, num_vertices, verts_sorted[row_ids, 1:],
+                            cand)
+    if new_label is not None and labels is not None:
+        keep &= labels[cand] == new_label
+    keep &= ~(cand[:, None] == rows[row_ids]).any(axis=1)
+    for p in lt:
+        keep &= cand < rows[row_ids, p]
+    for p in gt:
+        keep &= cand > rows[row_ids, p]
+    cand, row_ids = cand[keep], row_ids[keep]
+    return cand, row_ids, np.bincount(row_ids, minlength=n)
 
 
 def adjacency_bitsets(graph) -> list[int]:

@@ -36,7 +36,8 @@ from .batch import Batch
 from .cache import LRBUCache, LRUCache
 from .dataflow import ExtendSpec, JoinSpec, ScanSpec
 from .kernels import (chain_add, chained_costs, chunk_charges,
-                      edge_composite_index, edge_member, hash_destinations,
+                      edge_composite_index, fused_extend_candidates,
+                      fused_verify_mask, hash_destinations,
                       intersect_sorted, join_pairs, log2_plus2_table)
 
 __all__ = ["ExecContext", "ScanOp", "ExtendOp", "SinkConsumer", "JoinBuffer",
@@ -411,20 +412,15 @@ class ExtendOp:
         base = base + pen_u[inv].sum(axis=1)
         return verts, lens, order, base
 
-    def _edge_member(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
-        """Vectorised adjacency test: is ``dst[i]`` a neighbour of ``src[i]``?"""
-        return edge_member(self.ctx.edge_index(),
-                           self.ctx.cluster.pgraph.graph.num_vertices,
-                           src, dst)
-
     def _process_vector(self, machine: int, rows: np.ndarray,
                         count_only: bool) -> tuple[Batch, list[float], int]:
         """Columnar intersect stage (two-stage execution).
 
         Candidate sets are gathered straight from the global CSR (cached
-        remote adjacency is the same data by construction) and every
-        membership test of the batch collapses into one ``searchsorted``
-        against the composite edge index.
+        remote adjacency is the same data by construction) and the whole
+        fetch/intersect chain runs as one fused kernel pass — every
+        membership test of the batch collapses into a single
+        ``searchsorted`` against the composite edge index.
         """
         ctx = self.ctx
         cost = ctx.cost
@@ -435,17 +431,12 @@ class ExtendOp:
         if n == 0:
             return Batch.empty(self.out_arity), [], 0
         labels = ctx.labels
-        W = len(spec.ext)
         verts, lens, order, base = self._intersect_base_costs(machine, rows)
-        rng = np.arange(n)
 
         if spec.is_verify:
             targets = rows[:, spec.verify_pos]
-            found = np.ones(n, dtype=bool)
-            for w in range(W):
-                found &= self._edge_member(verts[:, w], targets)
-            if spec.new_label is not None and labels is not None:
-                found &= labels[targets] == spec.new_label
+            found = fused_verify_mask(ctx.edge_index(), g.num_vertices,
+                                      verts, targets, labels, spec.new_label)
             counted = int(found.sum()) if count_only else 0
             step = cost.emit_op if count_only else in_arity * cost.emit_op
             item_costs = np.where(found, base + step, base).tolist()
@@ -453,27 +444,10 @@ class ExtendOp:
                    else Batch(rows[found]))
             return out, item_costs, counted
 
-        # gather each row's candidate list (its smallest adjacency) from CSR
-        cand_vid = verts[rng, order[:, 0]]
-        L = g.indptr[cand_vid + 1] - g.indptr[cand_vid]
-        E = int(L.sum())
-        row_ids = np.repeat(rng, L)
-        ramp = np.arange(E) - np.repeat(np.cumsum(L) - L, L)
-        cand = g.indices[np.repeat(g.indptr[cand_vid], L) + ramp]
-        keep = np.ones(E, dtype=bool)
-        for w in range(1, W):
-            keep &= self._edge_member(verts[row_ids, order[row_ids, w]], cand)
-        if spec.new_label is not None and labels is not None:
-            keep &= labels[cand] == spec.new_label
-        cand, row_ids = cand[keep], row_ids[keep]
-        # distinctness + symmetry-order masks
-        keep = ~(cand[:, None] == rows[row_ids]).any(axis=1)
-        for p in spec.candidate_lt:
-            keep &= cand < rows[row_ids, p]
-        for p in spec.candidate_gt:
-            keep &= cand > rows[row_ids, p]
-        cand, row_ids = cand[keep], row_ids[keep]
-        counts = np.bincount(row_ids, minlength=n)
+        cand, row_ids, counts = fused_extend_candidates(
+            g.indptr, g.indices, ctx.edge_index(), g.num_vertices, rows,
+            np.take_along_axis(verts, order, axis=1),
+            spec.candidate_lt, spec.candidate_gt, labels, spec.new_label)
 
         emit_step = cost.emit_op if count_only else (
             (in_arity + 1) * cost.emit_op)

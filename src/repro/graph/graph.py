@@ -36,7 +36,7 @@ class Graph:
     graph from an edge list rather than calling the constructor directly.
     """
 
-    __slots__ = ("_indptr", "_indices")
+    __slots__ = ("_indptr", "_indices", "_composite")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray):
         indptr = np.asarray(indptr, dtype=np.int64)
@@ -51,6 +51,10 @@ class Graph:
         indices.setflags(write=False)
         self._indptr = indptr
         self._indices = indices
+        #: lazily built sorted ``u * n + v`` edge-composite index, cached
+        #: here (and shm-preloaded in process workers) because it derives
+        #: purely from the immutable CSR arrays
+        self._composite: np.ndarray | None = None
 
     # -- construction ------------------------------------------------------
 

@@ -143,7 +143,8 @@ class LoadDriver:
                  flight: FlightRecorder | None = None,
                  sharing: bool = False,
                  max_share_group: int = 8,
-                 result_cache_bytes: float = 0.0):
+                 result_cache_bytes: float = 0.0,
+                 pool: str = "thread"):
         self.graph = graph
         self.spec = spec
         self.num_workers = num_workers
@@ -159,6 +160,7 @@ class LoadDriver:
         self.sharing = sharing
         self.max_share_group = max_share_group
         self.result_cache_bytes = result_cache_bytes
+        self.pool = pool
         self.service: QueryService | None = None
 
     def run(self, verify: bool = False,
@@ -180,7 +182,7 @@ class LoadDriver:
             trace_max_events=self.trace_max_events,
             metrics=self.metrics, flight=self.flight,
             sharing=self.sharing, max_share_group=self.max_share_group,
-            result_cache_bytes=self.result_cache_bytes)
+            result_cache_bytes=self.result_cache_bytes, pool=self.pool)
         self.service = service
         t0 = time.perf_counter()
         with service:

@@ -51,9 +51,11 @@ class ServiceInstruments:
             "serve_share_group_size",
             "requests per dispatched share group", reservoir=10_000)
         self.crashes = registry.counter(
-            "serve_worker_crashes_total", "worker threads lost mid-query")
+            "serve_worker_crashes_total",
+            "workers lost mid-query, by pool backend", ("backend",))
         self.retries = registry.counter(
-            "serve_retries_total", "crash-recovery requeues")
+            "serve_retries_total", "crash-recovery requeues, by pool backend",
+            ("backend",))
         self.deadline_missed = registry.counter(
             "serve_deadline_missed_total",
             "requests cancelled for missing their deadline")

@@ -33,6 +33,7 @@ clusters, it never changes what any of them computes.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -136,6 +137,10 @@ class Executor:
         self.plan_cache = plan_cache
         self.default_config = default_config
         self.cost = cost
+        #: optional hook returning a precomputed vertex-ownership array
+        #: for a request's cluster shape (process workers resolve it from
+        #: shared memory instead of recomputing the permutation)
+        self.partition_provider = None
         self._clusters: OrderedDict[tuple, Cluster] = OrderedDict()
         self._max_clusters = max_clusters
 
@@ -144,9 +149,12 @@ class Executor:
                req.partition_seed)
         cluster = self._clusters.get(key)
         if cluster is None:
+            owner = (self.partition_provider(req)
+                     if self.partition_provider is not None else None)
             cluster = Cluster(graph, num_machines=req.num_machines,
                               workers_per_machine=req.workers_per_machine,
-                              cost=self.cost, seed=req.partition_seed)
+                              cost=self.cost, seed=req.partition_seed,
+                              owner=owner)
             if len(self._clusters) >= self._max_clusters:
                 self._clusters.popitem(last=False)
             self._clusters[key] = cluster
@@ -231,6 +239,46 @@ class Executor:
                                     signature=signature_of_plan(plan))
         return plan, hit, time.perf_counter() - t0
 
+    def execute_group(self, reqs: list[QueryRequest], graph: Graph,
+                      patterns: list[QueryGraph],
+                      plan_keys: list[tuple] | None = None,
+                      token: CancelToken | None = None):
+        """Run one share group: members' common plan prefix once, each
+        member's suffix into its own sink.
+
+        Returns ``(results, mappings, hits, plan_times, prefix_len,
+        execute_s)`` — per-member lists plus the shared prefix length and
+        the engine wall time.  ``plan_keys=None`` recomputes the plan
+        cache keys locally (the process-worker path, whose keys live in
+        the child's cache).
+        """
+        req0 = reqs[0]
+        if plan_keys is None:
+            plan_keys = [
+                PlanCache.key(p.canonical_key(), r.dataset, graph,
+                              r.num_machines)
+                for r, p in zip(reqs, patterns)
+            ]
+        plans, mappings, hits, plan_times = [], [], [], []
+        for req, pattern, key in zip(reqs, patterns, plan_keys):
+            canon, mapping = pattern.canonical_form()
+            plan, hit, plan_s = self.resolve_plan(req, graph, canon, key)
+            plans.append(plan)
+            mappings.append(mapping)
+            hits.append(hit)
+            plan_times.append(plan_s)
+        cluster = self._cluster(graph, req0)
+        base = req0.config or self.default_config or EngineConfig()
+        engine = HugeEngine(cluster, replace(
+            base, collect_results=False, cancellation=token))
+        prefix_len = group_prefix_len(
+            [signature_of_plan(p) for p in plans])
+        t0 = time.perf_counter()
+        results = engine.run_shared(
+            plans, collects=[r.collect for r in reqs])
+        execute_s = time.perf_counter() - t0
+        return results, mappings, hits, plan_times, prefix_len, execute_s
+
 
 def run_query_solo(graph: Graph, request: QueryRequest,
                    default_config: EngineConfig | None = None,
@@ -263,16 +311,30 @@ class _Worker(threading.Thread):
     """One pool worker; dies on an injected crash (no cleanup — the
     dispatcher's liveness check is the detection path)."""
 
+    #: pool backend label carried on flight events and crash metrics
+    backend = "thread"
+
     def __init__(self, service: "QueryService", wid: int):
         super().__init__(name=f"repro-serve-w{wid}", daemon=True)
         self.service = service
         self.wid = wid
         self.current: QueueEntry | None = None
         self.crashed = False
-        self.executor = Executor(
+        self.executor = self._make_executor(service)
+
+    def _make_executor(self, service: "QueryService") -> Executor:
+        return Executor(
             plan_cache=service.plan_cache,
             default_config=service.default_config,
             cost=service.cost)
+
+    @property
+    def pid(self) -> int:
+        """OS pid doing this worker's compute (the service process)."""
+        return os.getpid()
+
+    def dispose(self) -> None:
+        """Release backend resources (no-op for thread workers)."""
 
     def run(self) -> None:
         svc = self.service
@@ -321,12 +383,19 @@ class QueryService:
                  poll_interval_s: float = 0.005,
                  sharing: bool = False,
                  max_share_group: int = 8,
-                 result_cache_bytes: float = 0.0):
+                 result_cache_bytes: float = 0.0,
+                 pool: str = "thread"):
         if num_workers < 1:
             raise ValueError("need at least one worker")
         if max_share_group < 1:
             raise ValueError("max_share_group must be positive")
+        if pool not in ("thread", "process"):
+            raise ValueError(f"unknown pool backend {pool!r}; "
+                             "expected 'thread' or 'process'")
         self.num_workers = num_workers
+        #: worker backend: "thread" (GIL-bound, zero-copy in-process) or
+        #: "process" (true multi-core against the shared-memory graph)
+        self.pool = pool
         #: batch concurrently queued requests with shared plan prefixes
         #: into one engine run (opt-in: a shared run's simulated report
         #: is the group's ledger, not any member's solo report)
@@ -365,6 +434,8 @@ class QueryService:
         self._start_t = 0.0
 
         self._workers: list[_Worker] = []
+        #: process backend only: shared-memory segments + child hosts
+        self._procpool = None
         self._dispatcher: threading.Thread | None = None
         #: dispatch units (solo entries or whole share groups) occupying
         #: workers right now — a group holds ONE unit but all its members
@@ -418,13 +489,22 @@ class QueryService:
             return 0
         return self.result_cache.invalidate(dataset=dataset, tenant=tenant)
 
+    def _new_worker(self, wid: int) -> _Worker:
+        if self._procpool is not None:
+            from .procpool import ProcessWorker
+            return ProcessWorker(self, wid)
+        return _Worker(self, wid)
+
     def start(self) -> "QueryService":
         if self._started:
             raise RuntimeError("service already started")
         self._started = True
         self._start_t = time.monotonic()
+        if self.pool == "process":
+            from .procpool import ProcessWorkerPool
+            self._procpool = ProcessWorkerPool(self)
         for wid in range(self.num_workers):
-            worker = _Worker(self, wid)
+            worker = self._new_worker(wid)
             self._workers.append(worker)
             worker.start()
         self._dispatcher = threading.Thread(
@@ -433,13 +513,23 @@ class QueryService:
         self._dispatcher.start()
         return self
 
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until every worker can execute (process children spawned
+        and attached).  Thread pools are ready immediately; benchmarks use
+        this to keep spawn cost out of throughput windows."""
+        if self._procpool is not None:
+            deadline = time.monotonic() + timeout
+            for worker in self._workers:
+                worker.wait_ready(max(0.0, deadline - time.monotonic()))
+
     def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
         """Shut the service down.
 
         ``drain=True`` finishes everything already submitted first;
         ``drain=False`` cancels queued and running queries immediately.
         Either way every submitted handle reaches a terminal state before
-        the pool is torn down (clean shutdown is part of the contract).
+        the pool is torn down (clean shutdown is part of the contract),
+        and every shared-memory segment is unlinked exactly once.
         """
         if not self._started or self._stopped:
             return
@@ -454,6 +544,10 @@ class QueryService:
             self._ready.put(_SHUTDOWN)
         for worker in self._workers:
             worker.join(timeout=5.0)
+        for worker in self._workers:
+            worker.dispose()
+        if self._procpool is not None:
+            self._procpool.close()
         if self.result_cache is not None:
             # drop all cached results so the admission ledger drains to
             # zero (the serving memory oracle asserts this post-stop)
@@ -878,14 +972,16 @@ class QueryService:
             entry = worker.current
             if entry is None and not worker.crashed:
                 continue  # normal shutdown exit
+            crashed_pid = worker.pid
             # respawn first so capacity is restored even if retry fails
-            fresh = _Worker(self, worker.wid)
+            fresh = self._new_worker(worker.wid)
             self._workers[i] = fresh
             fresh.start()
+            worker.dispose()  # reap the corpse (dead child process, pipes)
             with self._cond:
                 self._counters["worker_crashes"] += 1
             if self.obs is not None:
-                self.obs.crashes.inc()
+                self.obs.crashes.inc_child(self.obs.crashes.labels(self.pool))
             if entry is not None:
                 with self._cond:
                     self._dispatch_units -= 1
@@ -896,6 +992,8 @@ class QueryService:
                     if self.flight is not None:
                         self.flight.crash(victim.handle.request.seq,
                                           worker=worker.wid,
+                                          pid=crashed_pid,
+                                          backend=worker.backend,
                                           attempt=victim.attempts)
                     self._retry_after_crash(victim)
 
@@ -929,7 +1027,7 @@ class QueryService:
             self._queue.push(entry)
             self._cond.notify_all()
         if self.obs is not None:
-            self.obs.retries.inc()
+            self.obs.retries.inc_child(self.obs.retries.labels(self.pool))
         if self.flight is not None:
             self.flight.event(req.seq, "retry_scheduled",
                               backoff_s=backoff,
@@ -955,6 +1053,7 @@ class QueryService:
         entry.handle._set_status(QueryStatus.RUNNING)
         if self.flight is not None:
             self.flight.event(req.seq, "executing", worker=worker.wid,
+                              pid=worker.pid, backend=worker.backend,
                               attempt=entry.attempts)
         t_run0 = self._now()
         tr = self.tracer
@@ -1044,6 +1143,7 @@ class QueryService:
             e.handle._set_status(QueryStatus.RUNNING)
             if self.flight is not None:
                 self.flight.event(req.seq, "executing", worker=worker.wid,
+                                  pid=worker.pid, backend=worker.backend,
                                   attempt=e.attempts,
                                   share_group=len(members))
         leader, req0 = members[0], reqs[0]
@@ -1051,25 +1151,11 @@ class QueryService:
         tr = self.tracer
         tw0 = tr.now() if tr else 0.0
         try:
-            executor = worker.executor
-            plans, mappings, hits, plan_times = [], [], [], []
-            for e, req in zip(members, reqs):
-                canon, mapping = e.pattern.canonical_form()
-                plan, hit, plan_s = executor.resolve_plan(
-                    req, e.graph, canon, e.plan_key)
-                plans.append(plan)
-                mappings.append(mapping)
-                hits.append(hit)
-                plan_times.append(plan_s)
-            cluster = executor._cluster(leader.graph, req0)
-            base = req0.config or executor.default_config or EngineConfig()
-            engine = HugeEngine(cluster, replace(
-                base, collect_results=False, cancellation=group.token))
-            group.prefix_len = group_prefix_len(
-                [signature_of_plan(p) for p in plans])
-            t_exec0 = self._now()
-            results = engine.run_shared(
-                plans, collects=[r.collect for r in reqs])
+            (results, mappings, hits, plan_times, prefix_len,
+             execute_s) = worker.executor.execute_group(
+                reqs, leader.graph, [e.pattern for e in members],
+                plan_keys=[e.plan_key for e in members], token=group.token)
+            group.prefix_len = prefix_len
         except WorkerCrashError:
             raise
         except QueryCancelledError as exc:
@@ -1103,7 +1189,6 @@ class QueryService:
                                    "size": len(members)})
             return
 
-        execute_s = self._now() - t_exec0
         if self.obs is not None:
             for hit in hits:
                 self.obs.plan_cache_lookup(hit)

@@ -1,0 +1,349 @@
+"""Process worker pool: shared-memory graph residence, spawn safety,
+crash recovery, shm lifecycle hygiene, and fused-kernel equivalence.
+
+Process-spawning tests are deliberately few and batched (each service
+start spawns real children); kernel and pickling tests are pure."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.engine import EngineConfig, HugeEngine
+from repro.core.kernels import (chained_costs, edge_composite_index,
+                                edge_member, fused_extend_candidates,
+                                fused_verify_mask)
+from repro.core.shm import SharedGraphStore
+from repro.graph import generators as gen
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.query.pattern import get_query
+from repro.serve.procpool import WorkerTask, _strip_request
+from repro.serve.request import QueryRequest, QueryStatus
+from repro.serve.service import FaultInjector, QueryService
+from repro.testing.serving import check_service_run
+
+
+def _shm_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+# -- shared-memory residence ------------------------------------------------
+
+
+class TestSharedGraphStore:
+    def test_handle_round_trip_zero_copy(self, er_graph):
+        store = SharedGraphStore()
+        try:
+            handle = store.handle("er", er_graph)
+            # handles are pickle-cheap tickets (no graph bytes)
+            assert len(pickle.dumps(handle)) < 2048
+            g2 = pickle.loads(pickle.dumps(handle)).attach()
+            assert np.array_equal(g2.indptr, er_graph.indptr)
+            assert np.array_equal(g2.indices, er_graph.indices)
+            assert not g2.indptr.flags.writeable
+            assert not g2.indices.flags.writeable
+            # the composite edge index is preloaded, never rebuilt
+            assert g2._composite is not None
+            assert np.array_equal(g2._composite,
+                                  edge_composite_index(er_graph))
+            # repeated attach returns the cached Graph object
+            assert handle.attach() is g2
+            # re-requesting the same (dataset, version) re-exports nothing
+            assert store.handle("er", er_graph) is handle
+            assert len(store.segment_names()) == 3
+        finally:
+            store.close()
+
+    def test_owner_spec_matches_hash_partition(self, er_graph):
+        from repro.graph.partition import hash_partition
+
+        store = SharedGraphStore()
+        try:
+            spec = store.owner_spec("er", er_graph, 4, 0)
+            assert np.array_equal(
+                spec.attach(), hash_partition(er_graph.num_vertices, 4, 0))
+            # one export per cluster shape
+            assert store.owner_spec("er", er_graph, 4, 0) is spec
+            assert store.owner_spec("er", er_graph, 2, 0) is not spec
+        finally:
+            store.close()
+
+    def test_close_unlinks_exactly_once(self, er_graph):
+        store = SharedGraphStore()
+        store.handle("er", er_graph)
+        names = store.segment_names()
+        assert names and all(_shm_exists(n) for n in names)
+        store.close()
+        assert all(not _shm_exists(n) for n in names)
+        store.close()  # idempotent: second close must not raise
+        with pytest.raises(RuntimeError):
+            store._export_array("late", np.zeros(3, dtype=np.int64))
+
+
+# -- spawn safety -----------------------------------------------------------
+
+
+class TestSpawnSafety:
+    """Everything that crosses the pipe must round-trip through pickle
+    (the ``spawn`` start method shares nothing)."""
+
+    def test_request_and_config_round_trip(self):
+        cfg = EngineConfig(collect_results=True)
+        req = QueryRequest(pattern="triangle", dataset="er", num_machines=2,
+                           config=cfg, collect=True, tenant="alpha")
+        clone = pickle.loads(pickle.dumps(req))
+        assert clone.seq == req.seq  # identity is the seq, must survive
+        assert clone.pattern == req.pattern
+        assert clone.config.collect_results
+
+    def test_strip_request_drops_cancellation_token(self):
+        from repro.core.cancel import CancelToken
+
+        cfg = EngineConfig(cancellation=CancelToken(deadline=1.0))
+        req = QueryRequest(pattern="q1", dataset="er", config=cfg)
+        stripped = _strip_request(req)
+        assert stripped.config.cancellation is None
+        assert stripped.seq == req.seq
+        assert req.config.cancellation is not None  # caller's untouched
+        # no token: nothing to strip, same object back
+        bare = QueryRequest(pattern="q1", dataset="er")
+        assert _strip_request(bare) is bare
+
+    def test_plan_and_task_round_trip(self, er_graph):
+        pattern = get_query("triangle")
+        engine = HugeEngine(Cluster(er_graph, num_machines=2),
+                            EngineConfig())
+        plan = engine.plan(pattern)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.describe() == plan.describe()
+
+        store = SharedGraphStore()
+        try:
+            task = WorkerTask(
+                kind="solo", generation=7,
+                requests=(QueryRequest(pattern=pattern, dataset="er"),),
+                patterns=(pattern,),
+                graph=store.handle("er", er_graph),
+                owner=store.owner_spec("er", er_graph, 4, 0),
+                deadline=time.monotonic() + 60, crash_after=3)
+            t2 = pickle.loads(pickle.dumps(task))
+            assert t2.generation == 7
+            assert t2.requests[0].seq == task.requests[0].seq
+            assert np.array_equal(t2.graph.attach().indptr, er_graph.indptr)
+        finally:
+            store.close()
+
+
+# -- end-to-end process pool ------------------------------------------------
+
+
+class TestProcessPool:
+    def test_oracles_flight_labels_and_cancel(self, er_graph):
+        """One batched end-to-end run: solo-identical oracles, flight
+        events carrying worker pid + pool backend, and a mid-flight
+        client cancel relayed into the child."""
+        flight = FlightRecorder()
+        svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                           pool="process", flight=flight)
+        svc.start()
+        svc.wait_ready()
+        try:
+            reqs = [QueryRequest(pattern=p, dataset="er", num_machines=2,
+                                 collect=c)
+                    for p, c in (("triangle", True), ("q1", False),
+                                 ("triangle", False), ("q2", False))]
+            outcomes = [h.result(timeout=120)
+                        for h in [svc.submit(r) for r in reqs]]
+            assert all(o.status is QueryStatus.COMPLETED for o in outcomes)
+
+            parent_pid = os.getpid()
+            child_pids = {w.pid for w in svc._workers}
+            assert parent_pid not in child_pids
+            executing = [e for f in flight.flights() for e in f.events
+                         if e.kind == "executing"]
+            assert executing
+            for e in executing:
+                assert e.data["backend"] == "process"
+                assert e.data["pid"] in child_pids
+
+            # client cancel mid-run: the shared cell aborts the child's
+            # engine at its next poll, the parent restores the reason
+            victim = QueryRequest(pattern="q4", dataset="er",
+                                  num_machines=2)
+            handle = svc.submit(victim)
+            for _ in range(2000):
+                if handle.status is QueryStatus.RUNNING:
+                    break
+                time.sleep(0.001)
+            handle.cancel("client gave up")
+            outcome = handle.result(timeout=120)
+            # tiny queries may legitimately win the race and complete
+            assert outcome.status in (QueryStatus.CANCELLED,
+                                      QueryStatus.COMPLETED)
+            if outcome.status is QueryStatus.CANCELLED:
+                assert outcome.error == "client gave up"
+        finally:
+            svc.stop()
+        assert not check_service_run(svc, reqs, outcomes, er_graph)
+
+    def test_crash_kill_and_segment_hygiene(self, er_graph):
+        """Batched fault-tolerance run: injected child crash recovered
+        by retry, a SIGKILL'ed child recovered, crash metrics labelled
+        with the backend, and every shm segment unlinked exactly once
+        on stop despite the carnage."""
+        inj = FaultInjector()
+        reg = MetricsRegistry()
+        flight = FlightRecorder()
+        svc = QueryService(datasets={"er": er_graph}, num_workers=2,
+                           pool="process", injector=inj, metrics=reg,
+                           flight=flight, backoff_base_s=0.01)
+        svc.start()
+        svc.wait_ready()
+        try:
+            reqs = [QueryRequest(pattern="triangle", dataset="er",
+                                 num_machines=2),
+                    QueryRequest(pattern="q1", dataset="er",
+                                 num_machines=2)]
+            inj.crash(reqs[0].seq, attempt=1, after_polls=3)
+            outcomes = [h.result(timeout=120)
+                        for h in [svc.submit(r) for r in reqs]]
+            assert all(o.status is QueryStatus.COMPLETED for o in outcomes)
+            assert outcomes[0].attempts == 2
+            assert inj.injected == 1
+
+            crash_events = [e for f in flight.flights() for e in f.events
+                            if e.kind == "crash"]
+            assert crash_events
+            assert crash_events[0].data["backend"] == "process"
+            assert crash_events[0].data["pid"] != os.getpid()
+
+            # a hard SIGKILL (no injected exception at all): the next
+            # query rides the corpse, crashes, and retries to completion
+            os.kill(svc._workers[0].pid, signal.SIGKILL)
+            time.sleep(0.1)
+            extra = [QueryRequest(pattern="triangle", dataset="er",
+                                  num_machines=2) for _ in range(2)]
+            outcomes2 = [h.result(timeout=120)
+                         for h in [svc.submit(r) for r in extra]]
+            assert all(o.status is QueryStatus.COMPLETED
+                       for o in outcomes2)
+            assert outcomes2[0].count == outcomes[0].count
+
+            stats = svc.stats()
+            assert stats.worker_crashes == 2
+            assert reg.get("repro_serve_worker_crashes_total") \
+                .get("process") == 2
+            assert reg.get("repro_serve_retries_total").get("process") == 2
+            assert stats.delivery_violations == 0
+
+            segs = list(svc._procpool.store.segment_names())
+            assert segs and all(_shm_exists(n) for n in segs)
+        finally:
+            svc.stop()
+        assert not check_service_run(svc, reqs + extra,
+                                     outcomes + outcomes2, er_graph,
+                                     injected_crashes=1)
+        assert all(not _shm_exists(n) for n in segs)
+        svc.stop()  # idempotent; must not attempt a second unlink
+        svc._procpool.close()
+
+
+# -- fused PULL-EXTEND kernels ----------------------------------------------
+
+
+def _reference_extend(indptr, indices, comp, num_vertices, rows,
+                      verts_sorted, lt, gt, labels, new_label):
+    """The historical multi-pass pipeline: per-column ``edge_member``
+    loop with two compactions (pre-fusion ``ExtendOp._process_vector``)."""
+    n = len(rows)
+    cand_vid = verts_sorted[:, 0]
+    L = indptr[cand_vid + 1] - indptr[cand_vid]
+    E = int(L.sum())
+    row_ids = np.repeat(np.arange(n), L)
+    ramp = np.arange(E) - np.repeat(np.cumsum(L) - L, L)
+    cand = indices[np.repeat(indptr[cand_vid], L) + ramp]
+    keep = np.ones(E, dtype=bool)
+    for w in range(1, verts_sorted.shape[1]):
+        keep &= edge_member(comp, num_vertices,
+                            verts_sorted[row_ids, w], cand)
+    if new_label is not None and labels is not None:
+        keep &= labels[cand] == new_label
+    cand, row_ids = cand[keep], row_ids[keep]
+    keep = ~(cand[:, None] == rows[row_ids]).any(axis=1)
+    for p in lt:
+        keep &= cand < rows[row_ids, p]
+    for p in gt:
+        keep &= cand > rows[row_ids, p]
+    cand, row_ids = cand[keep], row_ids[keep]
+    return cand, row_ids, np.bincount(row_ids, minlength=n)
+
+
+class TestFusedKernels:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fused_extend_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        g = gen.erdos_renyi(30 + 5 * seed, 0.15, seed=seed)
+        comp = edge_composite_index(g)
+        n_rows, arity, W = int(rng.integers(1, 40)), 3, int(
+            rng.integers(1, 3))
+        rows = rng.integers(0, g.num_vertices, size=(n_rows, arity))
+        verts_sorted = rows[:, :W].copy()
+        labels = rng.integers(0, 3, size=g.num_vertices) \
+            if seed % 2 else None
+        new_label = 1 if labels is not None else None
+        lt, gt = ((0,), (1,)) if seed % 3 == 0 else ((), (0,))
+        ref = _reference_extend(g.indptr, g.indices, comp, g.num_vertices,
+                                rows, verts_sorted, lt, gt, labels,
+                                new_label)
+        got = fused_extend_candidates(g.indptr, g.indices, comp,
+                                      g.num_vertices, rows, verts_sorted,
+                                      lt, gt, labels, new_label)
+        for a, b in zip(got, ref):
+            assert np.array_equal(a, b)
+        # identical counts => bit-identical IEEE cost replay
+        base = rng.random(n_rows)
+        assert np.array_equal(chained_costs(base, got[2], 0.25),
+                              chained_costs(base, ref[2], 0.25))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fused_verify_matches_reference(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        g = gen.erdos_renyi(40, 0.2, seed=seed)
+        comp = edge_composite_index(g)
+        n, W = 50, 2
+        verts = rng.integers(0, g.num_vertices, size=(n, W))
+        targets = rng.integers(0, g.num_vertices, size=n)
+        labels = rng.integers(0, 2, size=g.num_vertices) \
+            if seed % 2 else None
+        new_label = 0 if labels is not None else None
+        ref = np.ones(n, dtype=bool)
+        for w in range(W):
+            ref &= edge_member(comp, g.num_vertices, verts[:, w], targets)
+        if new_label is not None:
+            ref &= labels[targets] == new_label
+        got = fused_verify_mask(comp, g.num_vertices, verts, targets,
+                                labels, new_label)
+        assert np.array_equal(got, ref)
+
+    def test_empty_and_degenerate_shapes(self):
+        g = gen.erdos_renyi(10, 0.3, seed=1)
+        comp = edge_composite_index(g)
+        rows = np.zeros((0, 2), dtype=np.int64)
+        cand, row_ids, counts = fused_extend_candidates(
+            g.indptr, g.indices, comp, g.num_vertices, rows,
+            rows.copy(), (), (), None, None)
+        assert len(cand) == 0 and len(counts) == 0
+        # W == 1: no membership columns at all, candidates pass through
+        rows = np.array([[0, 1]], dtype=np.int64)
+        cand, row_ids, counts = fused_extend_candidates(
+            g.indptr, g.indices, comp, g.num_vertices, rows,
+            rows[:, :1], (), (), None, None)
+        nbrs = set(g.neighbours(0).tolist()) - {0, 1}
+        assert set(cand.tolist()) == nbrs and counts[0] == len(nbrs)

@@ -577,9 +577,9 @@ class TestServiceMetrics:
             assert outcome.status is QueryStatus.COMPLETED
         finally:
             svc.stop()
-        assert reg2.get("repro_serve_worker_crashes_total").value == \
+        assert reg2.get("repro_serve_worker_crashes_total").get("thread") == \
             svc.stats().worker_crashes == 1
-        assert reg2.get("repro_serve_retries_total").value == 1
+        assert reg2.get("repro_serve_retries_total").get("thread") == 1
 
     def test_driver_run_with_metrics_verifies_bit_identical(self, er_graph):
         """LoadDriver integration: a metrics+flight run still passes the
