@@ -1,0 +1,143 @@
+"""Incremental delta enumeration vs from-scratch re-enumeration per batch.
+
+The point of ``repro.stream`` is that the per-batch work is proportional
+to the delta size |Δ|, not the graph size |E|.  This benchmark replays a
+skewed (hub-heavy) temporal update stream over the GO stand-in twice:
+
+* **incremental** — :class:`repro.stream.delta.IncrementalMatcher`
+  applies each batch with two delta passes (Δ = the batch's effective
+  inserts/deletes);
+* **scratch** — the *same* delta kernel re-enumerates every batch from
+  scratch by passing the whole edge set as Δ (identical code path and
+  constant factors, |E| work instead of |Δ|).
+
+Both runs must agree bit-identically on the standing count after every
+batch — a mismatch fails the gate outright.  The speedup gate is purely
+algorithmic (|Δ| vs |E| work on one code path), so it holds on a single
+core: with |Δ| per batch two orders of magnitude below |E| the
+incremental path must be >= 3x faster across the stream.
+
+Each run appends one record to ``results/BENCH_stream.json``::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py [--label after]
+    PYTHONPATH=src python benchmarks/bench_stream.py --smoke   # CI sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import BENCH_SEED, RESULTS_DIR  # noqa: E402
+
+from repro.graph import load_dataset, temporal_edge_stream  # noqa: E402
+from repro.query import get_query  # noqa: E402
+from repro.stream import DeltaEnumerator, IncrementalMatcher  # noqa: E402
+
+RECORD_PATH = os.path.join(RESULTS_DIR, "BENCH_stream.json")
+
+DATASET = "GO"
+PATTERNS = ("triangle", "q1")
+NUM_UPDATES = 120
+BATCH_SIZE = 8
+SKEW = 1.5
+REQUIRED_SPEEDUP = 3.0
+
+
+def run_stream(pattern_name: str, updates: int, batch_size: int) -> dict:
+    """Replay one pattern's stream both ways; returns timings + agreement."""
+    pattern = get_query(pattern_name)
+    graph = load_dataset(DATASET, seed=BENCH_SEED + 6)
+    stream = temporal_edge_stream(graph, updates, batch_size=batch_size,
+                                  delete_fraction=0.35, seed=BENCH_SEED,
+                                  skew=SKEW)
+    # incremental: per-batch work ∝ |Δ|
+    matcher = IncrementalMatcher(pattern, stream.base, keep_matches=False)
+    inc_s = 0.0
+    inc_counts = []
+    for batch in stream.batches:
+        t0 = time.perf_counter()
+        result = matcher.apply(batch.inserts, batch.deletes)
+        inc_s += time.perf_counter() - t0
+        inc_counts.append(result.count_after)
+
+    # scratch: same kernel, whole edge set as Δ → per-batch work ∝ |E|
+    enum = DeltaEnumerator(pattern)
+    scratch_s = 0.0
+    scratch_counts = []
+    g = stream.base
+    from repro.graph import apply_updates
+    for batch in stream.batches:
+        g, _ = apply_updates(g, batch.inserts, batch.deletes)
+        t0 = time.perf_counter()
+        count = len(enum.delta_matches(g, g.edges()))
+        scratch_s += time.perf_counter() - t0
+        scratch_counts.append(count)
+
+    delta_edges = sum(b.size for b in stream.batches)
+    return {
+        "pattern": pattern_name,
+        "batches": len(stream.batches),
+        "avg_delta_edges": round(delta_edges / max(1, len(stream.batches)),
+                                 2),
+        "graph_edges": graph.num_edges,
+        "incremental_s": round(inc_s, 4),
+        "scratch_s": round(scratch_s, 4),
+        "speedup": round(scratch_s / inc_s, 2) if inc_s else 0.0,
+        "counts_agree": inc_counts == scratch_counts,
+        "final_count": inc_counts[-1] if inc_counts else 0,
+    }
+
+
+def bench(label: str, smoke: bool = False) -> dict:
+    updates = 32 if smoke else NUM_UPDATES
+    batch_size = BATCH_SIZE
+    runs = [run_stream(p, updates, batch_size) for p in PATTERNS]
+    inc = sum(r["incremental_s"] for r in runs)
+    scratch = sum(r["scratch_s"] for r in runs)
+    speedup = scratch / inc if inc else 0.0
+    return {
+        "label": label,
+        "seed": BENCH_SEED,
+        "workload": f"{updates}u/b{batch_size} skew={SKEW} {DATASET} "
+                    f"{'+'.join(PATTERNS)}",
+        "runs": runs,
+        "incremental_s": round(inc, 4),
+        "scratch_s": round(scratch, 4),
+        "speedup_incremental_vs_scratch": round(speedup, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "gate_passed": bool(all(r["counts_agree"] for r in runs)
+                            and speedup >= REQUIRED_SPEEDUP),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="run",
+                        help="tag for this record (e.g. before/after)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (32 updates); record not saved")
+    ns = parser.parse_args(argv)
+    record = bench(ns.label, smoke=ns.smoke)
+    print(json.dumps(record, indent=2))
+    if ns.smoke:
+        return 0 if record["gate_passed"] else 1
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    trajectory = []
+    if os.path.exists(RECORD_PATH):
+        with open(RECORD_PATH, encoding="utf-8") as f:
+            trajectory = json.load(f)
+    trajectory.append(record)
+    with open(RECORD_PATH, "w", encoding="utf-8") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    return 0 if record["gate_passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

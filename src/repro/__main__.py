@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .cluster.cluster import Cluster
 from .core.engine import EngineConfig, HugeEngine
@@ -366,6 +367,145 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .graph import temporal_edge_stream
+    from .serve import QueryRequest, QueryService, QueryStatus, \
+        SubscribeRequest
+
+    if args.smoke:
+        # reduced stream for CI: few updates, small pool, verification on
+        args.updates = min(args.updates, 20)
+        args.service_workers = min(args.service_workers, 2)
+        args.verify = True
+    graph = _load_graph(args.data, args.scale)
+    stream = temporal_edge_stream(
+        graph, args.updates, batch_size=args.batch,
+        delete_fraction=args.delete_fraction, seed=args.seed,
+        skew=args.skew)
+    dataset = args.data.upper()
+    patterns = tuple(args.patterns.split(","))
+
+    registry = None
+    flight = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    if args.metrics or args.flight:
+        from .obs import FlightRecorder
+
+        flight = FlightRecorder()
+    svc = QueryService(datasets={dataset: stream.base},
+                       num_workers=args.service_workers,
+                       trace=bool(args.trace), metrics=registry,
+                       flight=flight).start()
+    try:
+        t0 = time.perf_counter()
+        subs = [svc.subscribe(SubscribeRequest(pattern=p, dataset=dataset,
+                                               bootstrap=True))
+                for p in patterns]
+        boots = {p: s.poll(timeout=60.0) for p, s in zip(patterns, subs)}
+        reports = [svc.apply_updates(dataset, b.inserts, b.deletes)
+                   for b in stream.batches]
+        delivered = {p: s.drain() for p, s in zip(patterns, subs)}
+        wall = time.perf_counter() - t0
+
+        verified = True
+        verify_rows = []
+        if args.verify:
+            # from-scratch check through an independent path: a batch
+            # engine query against the final snapshot must agree with
+            # every subscription's accumulated standing count
+            for p, s in zip(patterns, subs):
+                out = svc.submit(QueryRequest(pattern=p, dataset=dataset)
+                                 ).result(timeout=300.0)
+                ok = (out.status is QueryStatus.COMPLETED
+                      and out.count == s.count
+                      and s.delivery_violations == 0
+                      and len(delivered[p]) == len(reports))
+                verified &= ok
+                verify_rows.append({"pattern": p, "incremental": s.count,
+                                    "scratch": out.count, "ok": ok})
+        for s in subs:
+            svc.unsubscribe(s)
+        stats = svc.stream_stats()
+    finally:
+        if args.trace and svc.tracer:
+            svc.tracer.save(args.trace,
+                            meta={"stream": f"{args.updates}u "
+                                  f"seed={args.seed} {dataset}"})
+        svc.stop()
+
+    if args.json:
+        import json
+
+        payload = {
+            "dataset": dataset,
+            "base_edges": stream.base.num_edges,
+            "final_edges": stream.final_graph().num_edges,
+            "updates": stream.num_updates,
+            "update_batches": len(stream.batches),
+            "patterns": list(patterns),
+            "wall_s": round(wall, 6),
+            "bootstrap_counts": {p: (len(b.additions) if b else None)
+                                 for p, b in boots.items()},
+            "final_counts": {p: s.count for p, s in zip(patterns, subs)},
+            "stream_stats": stats,
+            "reports": [r.as_dict() for r in reports],
+        }
+        if args.verify:
+            payload["verified"] = verified
+            payload["verify"] = verify_rows
+        print(json.dumps(payload, indent=2))
+        if args.flight and flight is not None:
+            flight.dump(args.flight)
+        if registry is not None:
+            _write_exposition(registry, args.metrics)
+        return 0 if (not args.verify or verified) else 1
+
+    print(f"data graph: {graph}")
+    print(f"stream: {stream.num_updates} updates in {len(stream.batches)} "
+          f"batches (base |E|={stream.base.num_edges}, "
+          f"final |E|={stream.final_graph().num_edges}, seed {args.seed}"
+          + (f", skew {args.skew:g}" if args.skew else "") + ")")
+    for p, s in zip(patterns, subs):
+        boot = boots[p]
+        print(f"{p:10s} bootstrap {len(boot.additions) if boot else 0:>8,}"
+              f"  final {s.count:>8,}  "
+              f"(+{sum(len(b.additions) for b in delivered[p]):,} / "
+              f"-{sum(len(b.retractions) for b in delivered[p]):,} over "
+              f"{len(delivered[p])} batches)")
+    lat = [b.latency_s for p in patterns for b in delivered[p]]
+    if lat:
+        lat.sort()
+        print(f"delta latency: p50 {lat[len(lat) // 2] * 1e3:.2f}ms  "
+              f"max {lat[-1] * 1e3:.2f}ms  over {len(lat)} deliveries")
+    print(f"wall time: {wall:.3f}s  ({stats['stream_updates']} updates, "
+          f"{stats['stream_additions']:,} additions, "
+          f"{stats['stream_retractions']:,} retractions)")
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"(load in https://ui.perfetto.dev)")
+    if args.flight and flight is not None:
+        flight.dump(args.flight)
+        print(f"flight log written to {args.flight}")
+    if registry is not None:
+        _write_exposition(registry, args.metrics)
+    if args.verify:
+        if verified:
+            print("verify: incremental counts bit-identical to "
+                  "from-scratch enumeration on the final graph")
+        else:
+            print("verify: FAILED")
+            for row in verify_rows:
+                if not row["ok"]:
+                    print(f"  {row['pattern']}: incremental "
+                          f"{row['incremental']} != scratch "
+                          f"{row['scratch']}")
+            return 1
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from .obs import check_exposition
 
@@ -547,6 +687,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CI smoke mode: cap the workload at 8 queries / 2 "
                         "workers and force --verify")
     s.set_defaults(func=_cmd_serve)
+
+    st = sub.add_parser("stream",
+                        help="replay a seeded temporal update stream "
+                             "against the service with standing "
+                             "subscriptions")
+    common(st)
+    st.add_argument("--updates", type=int, default=40,
+                    help="number of edge updates in the temporal stream")
+    st.add_argument("--batch", type=int, default=8,
+                    help="updates applied per batch")
+    st.add_argument("--delete-fraction", type=float, default=0.3,
+                    help="fraction of updates that delete a present edge")
+    st.add_argument("--skew", type=float, default=0.0,
+                    help="degree-bias exponent of the held-out edges "
+                         "(hub-heavy update stream when > 0)")
+    st.add_argument("--patterns", default="triangle,q1",
+                    help="comma-separated standing patterns to subscribe")
+    st.add_argument("--service-workers", type=int, default=4,
+                    help="worker threads in the service pool")
+    st.add_argument("--verify", action="store_true",
+                    help="check every accumulated count against a "
+                         "from-scratch engine run on the final snapshot")
+    st.add_argument("--trace", metavar="FILE",
+                    help="write a wall-clock Chrome trace of the run")
+    st.add_argument("--json", action="store_true",
+                    help="print the full stream report as JSON")
+    st.add_argument("--metrics", metavar="FILE",
+                    help="instrument the service and write the Prometheus "
+                         "exposition to FILE ('-' for stdout)")
+    st.add_argument("--flight", metavar="FILE",
+                    help="dump the per-subscription flight recorder as "
+                         "JSONL to FILE")
+    st.add_argument("--smoke", action="store_true",
+                    help="CI smoke mode: cap at 20 updates / 2 workers and "
+                         "force --verify")
+    st.set_defaults(func=_cmd_stream)
 
     mt = sub.add_parser("metrics",
                         help="run an instrumented demo query and dump the "

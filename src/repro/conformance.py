@@ -29,13 +29,14 @@ import argparse
 import sys
 
 from .testing.configs import (baseline_matrix, census_matrix,
-                              default_matrix, smoke_matrix)
+                              default_matrix, delta_matrix, smoke_matrix)
 from .testing.harness import ConformanceHarness, load_artifact, run_case
 
 __all__ = ["main", "build_parser"]
 
 _MATRICES = {"full": default_matrix, "smoke": smoke_matrix,
-             "baseline": baseline_matrix, "census": census_matrix}
+             "baseline": baseline_matrix, "census": census_matrix,
+             "delta": delta_matrix}
 
 
 def _matrix(name: str):
@@ -93,6 +94,9 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
                   f"batch={spec.batch_size}")
         elif spec.is_census:
             print(f"{spec.name:22s} census  k={spec.census_k}")
+        elif spec.is_delta:
+            print(f"{spec.name:22s} delta  schedule={spec.delta_schedule} "
+                  f"batches={spec.delta_batches}")
         else:
             print(f"{spec.name:22s} {spec.engine}")
     return 0
@@ -113,12 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--seed", type=int, default=0,
                    help="base seed of the deterministic workload stream")
     r.add_argument("--matrix",
-                   choices=("smoke", "full", "baseline", "census"),
+                   choices=("smoke", "full", "baseline", "census", "delta"),
                    default="smoke",
                    help="engine matrix to fan each workload across "
                         "(baseline: the four baseline systems + HUGE's "
                         "plug-in replicas of their plans; census: the ESU "
-                        "motif-census family at k=3..5)")
+                        "motif-census family at k=3..5; delta: the "
+                        "incremental streaming-update family across "
+                        "insert/delete/mixed schedules)")
     r.add_argument("--max-vertices", type=int, default=14,
                    help="data-graph size cap")
     r.add_argument("--max-seconds", type=float, default=None,
@@ -141,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     m = sub.add_parser("matrix", help="list the engine matrix")
     m.add_argument("--matrix",
-                   choices=("smoke", "full", "baseline", "census"),
+                   choices=("smoke", "full", "baseline", "census", "delta"),
                    default="full")
     m.set_defaults(func=_cmd_matrix)
     return parser

@@ -3,13 +3,21 @@
 from .graph import Graph
 from .builder import GraphBuilder
 from .partition import PartitionedGraph, hash_partition
-from .datasets import DATASETS, DatasetSpec, dataset_table, load_dataset
+from .datasets import (DATASETS, DatasetSpec, TemporalStream, UpdateBatch,
+                       dataset_table, load_dataset, temporal_edge_stream)
 from .io import load_edge_list, save_edge_list
+from .updates import GraphDelta, apply_updates, normalise_edges
 from . import generators
 
 __all__ = [
     "Graph",
     "GraphBuilder",
+    "GraphDelta",
+    "apply_updates",
+    "normalise_edges",
+    "TemporalStream",
+    "UpdateBatch",
+    "temporal_edge_stream",
     "PartitionedGraph",
     "hash_partition",
     "DATASETS",

@@ -29,9 +29,11 @@ from dataclasses import dataclass
 from typing import Callable
 
 from .graph import Graph
+from .updates import apply_updates
 from . import generators as gen
 
-__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "dataset_table"]
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "dataset_table",
+           "UpdateBatch", "TemporalStream", "temporal_edge_stream"]
 
 
 @dataclass(frozen=True)
@@ -135,6 +137,137 @@ def load_dataset(name: str, scale: float = 1.0, seed: int = 7) -> Graph:
         raise KeyError(
             f"unknown dataset {name!r}; choose from {sorted(DATASETS)}") from None
     return spec.load(scale=scale, seed=seed)
+
+
+# -- temporal edge streams --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One batch of a temporal edge stream: edges to insert and delete.
+
+    ``inserts`` and ``deletes`` are disjoint within a batch (normalised
+    ``u < v`` tuples), so replaying a batch through
+    :func:`~repro.graph.updates.apply_updates` is order-independent.
+    """
+
+    inserts: tuple[tuple[int, int], ...]
+    deletes: tuple[tuple[int, int], ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+
+@dataclass(frozen=True)
+class TemporalStream:
+    """A seeded, replayable edge-update stream over a fixed vertex set.
+
+    ``base`` is the starting snapshot; replaying ``batches`` in order via
+    :func:`~repro.graph.updates.apply_updates` yields a deterministic
+    final graph (:meth:`final_graph`).  The vertex count never changes,
+    so standing-subscription label arrays stay valid throughout.
+    """
+
+    base: Graph
+    batches: tuple[UpdateBatch, ...]
+
+    @property
+    def num_updates(self) -> int:
+        return sum(b.size for b in self.batches)
+
+    def final_graph(self) -> Graph:
+        """Replay every batch from the base snapshot."""
+        g = self.base
+        for batch in self.batches:
+            g, _ = apply_updates(g, batch.inserts, batch.deletes)
+        return g
+
+
+def temporal_edge_stream(
+    graph: Graph,
+    num_updates: int,
+    batch_size: int = 8,
+    delete_fraction: float = 0.3,
+    seed: int = 7,
+    skew: float = 0.0,
+) -> TemporalStream:
+    """Derive a seeded temporal update stream from a final-state graph.
+
+    Roughly ``num_updates * (1 - delete_fraction)`` edges of ``graph``
+    are held out to form the base snapshot and re-inserted over the
+    stream; the remaining updates delete edges present in the evolving
+    graph (possibly ones inserted by an earlier batch, exercising
+    retraction of previously delivered matches).  With ``skew > 0`` the
+    held-out edges are sampled with probability proportional to
+    ``(deg(u) + deg(v)) ** skew`` — a hub-heavy update stream whose
+    deltas touch the high-degree core, the adversarial case for
+    incremental enumeration.
+
+    Within each batch inserts and deletes are disjoint; across the
+    stream each operation is a real state change (no duplicate inserts
+    of present edges, no deletes of absent ones).
+    """
+    import numpy as np
+
+    if num_updates < 0:
+        raise ValueError("num_updates must be non-negative")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ValueError("delete_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    all_edges = sorted(graph.edges())
+    num_inserts = min(len(all_edges),
+                      int(round(num_updates * (1.0 - delete_fraction))))
+
+    if num_inserts and all_edges:
+        if skew > 0.0:
+            deg = np.diff(graph.indptr)
+            arr = np.asarray(all_edges, dtype=np.int64)
+            w = (deg[arr[:, 0]] + deg[arr[:, 1]]).astype(np.float64) ** skew
+            p = w / w.sum()
+        else:
+            p = None
+        held_idx = rng.choice(len(all_edges), size=num_inserts,
+                              replace=False, p=p)
+        held_out = [all_edges[i] for i in sorted(held_idx.tolist())]
+    else:
+        held_out = []
+    held_set = set(held_out)
+    current = set(all_edges) - held_set
+    base = Graph.from_edges(sorted(current), num_vertices=graph.num_vertices)
+
+    # interleave the re-inserts with deletes of currently-present edges
+    insert_queue = list(held_out)
+    rng.shuffle(insert_queue)
+    ops: list[UpdateBatch] = []
+    remaining = num_updates
+    while remaining > 0:
+        ins: list[tuple[int, int]] = []
+        dels: list[tuple[int, int]] = []
+        for _ in range(min(batch_size, remaining)):
+            want_insert = insert_queue and (
+                rng.random() >= delete_fraction or not current)
+            if want_insert:
+                ins.append(insert_queue.pop())
+            else:
+                # delete a present edge not touched earlier in this batch
+                pool = sorted(current - set(ins) - set(dels))
+                if not pool:
+                    if insert_queue:
+                        ins.append(insert_queue.pop())
+                    continue
+                dels.append(pool[int(rng.integers(len(pool)))])
+        if not ins and not dels:
+            break
+        for e in ins:
+            current.add(e)
+        for e in dels:
+            current.discard(e)
+        remaining -= len(ins) + len(dels)
+        ops.append(UpdateBatch(tuple(sorted(ins)), tuple(sorted(dels))))
+    return TemporalStream(base=base, batches=tuple(ops))
 
 
 def dataset_table(scale: float = 1.0, seed: int = 7) -> list[dict]:

@@ -1,0 +1,129 @@
+"""Versioned update path for the immutable CSR graph.
+
+:class:`~repro.graph.graph.Graph` snapshots never mutate; a streaming
+update batch instead produces a *new* snapshot plus a compact
+:class:`GraphDelta` describing exactly which undirected edges changed.
+Batch semantics are set-based with deletes winning inside a batch:
+
+    ``E' = (E ∪ I) \\ D``
+
+so inserting an edge that is then deleted in the same batch is a net
+no-op, inserting an already-present edge contributes nothing, and
+deleting an absent edge contributes nothing.  The delta records only the
+*effective* changes — ``inserted = E' \\ E`` and ``deleted = E \\ E'`` —
+which is what the incremental enumeration core in
+:mod:`repro.stream.delta` consumes (per-batch work proportional to
+``|Δ|``, not ``|E|``).
+
+Edges are normalised to ``(u, v)`` with ``u < v``; self-loops are
+dropped, duplicates collapse.  Inserts may reference vertex IDs beyond
+the current snapshot — the new snapshot grows to fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["GraphDelta", "apply_updates", "normalise_edges"]
+
+Edge = tuple[int, int]
+
+
+def normalise_edges(edges: Iterable[Edge]) -> set[Edge]:
+    """Normalise an edge iterable to a set of ``(u, v)`` with ``u < v``.
+
+    Self-loops are dropped and duplicates collapse; negative vertex IDs
+    are rejected.
+    """
+    out: set[Edge] = set()
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u < 0 or v < 0:
+            raise ValueError(f"negative vertex id in edge ({u}, {v})")
+        if u == v:
+            continue
+        out.add((u, v) if u < v else (v, u))
+    return out
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """The effective change set of one update batch.
+
+    ``inserted`` holds edges present after but not before the batch;
+    ``deleted`` holds edges present before but not after.  Both are
+    normalised ``u < v`` tuples in sorted order, and the two sets are
+    disjoint by construction.
+    """
+
+    inserted: tuple[Edge, ...]
+    deleted: tuple[Edge, ...]
+
+    @property
+    def size(self) -> int:
+        """``|Δ|`` — total number of changed edges."""
+        return len(self.inserted) + len(self.deleted)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.inserted and not self.deleted
+
+    def as_dict(self) -> dict:
+        return {
+            "inserted": [list(e) for e in self.inserted],
+            "deleted": [list(e) for e in self.deleted],
+        }
+
+
+def _edge_array(graph: Graph) -> np.ndarray:
+    """All undirected edges of ``graph`` as an ``(m, 2)`` array, u < v."""
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    dst = graph.indices
+    mask = src < dst
+    return np.stack([src[mask], dst[mask]], axis=1)
+
+
+def apply_updates(
+    graph: Graph,
+    inserts: Iterable[Edge] = (),
+    deletes: Iterable[Edge] = (),
+) -> tuple[Graph, GraphDelta]:
+    """Apply one update batch, returning ``(new_snapshot, delta)``.
+
+    The input snapshot is untouched.  ``E' = (E ∪ I) \\ D`` — deletes
+    win within the batch; the returned delta contains only effective
+    changes (see module docstring).
+    """
+    ins = normalise_edges(inserts)
+    dels = normalise_edges(deletes)
+    eff_del = sorted(e for e in dels if graph.has_edge(*e))
+    eff_ins = sorted(
+        e for e in ins if e not in dels and not graph.has_edge(*e)
+    )
+    delta = GraphDelta(tuple(eff_ins), tuple(eff_del))
+
+    n = graph.num_vertices
+    if eff_ins:
+        n = max(n, max(v for _, v in eff_ins) + 1)
+    if delta.is_empty:
+        # nothing changed: reuse the snapshot (callers still get a fresh
+        # version number from the serving tier if they registered it)
+        return graph, delta
+
+    pairs = _edge_array(graph)
+    if eff_del:
+        keys = pairs[:, 0] * n + pairs[:, 1]
+        del_arr = np.asarray(eff_del, dtype=np.int64)
+        del_keys = del_arr[:, 0] * n + del_arr[:, 1]
+        pairs = pairs[~np.isin(keys, del_keys)]
+    if eff_ins:
+        pairs = np.concatenate(
+            [pairs, np.asarray(eff_ins, dtype=np.int64)], axis=0)
+    new_graph = Graph.from_edges(pairs, num_vertices=n)
+    return new_graph, delta

@@ -18,6 +18,11 @@ A long-running serving tier on top of :class:`~repro.core.engine.HugeEngine`:
 * **result cache** (:mod:`.resultcache`) — tenant-aware cached answers
   keyed on (canonical pattern, dataset, graph version, …), with bytes
   accounted through the admission ledger;
+* **standing subscriptions** (:meth:`.service.QueryService.subscribe` /
+  :meth:`~.service.QueryService.apply_updates`) — streaming graph
+  updates fanned out through the worker pool as incremental delta
+  enumeration (:mod:`repro.stream`), with signed ``+/-`` match-delta
+  delivery, exactly-once per graph version;
 * **load driving** (:mod:`.driver`) — seeded (optionally Zipf-skewed)
   workloads with solo-run verification;
 * **observability** (:mod:`.stats`, :mod:`.tracing`,
@@ -41,6 +46,8 @@ from .sharing import (ShareGroup, common_prefix_len, config_fingerprint,
                       group_prefix_len, plan_signature, signature_of_plan)
 from .stats import LatencyRecorder, ServiceStats, percentile
 from .tracing import ServiceTracer
+from ..stream.subscribe import (DeltaBatch, SubscribeRequest, Subscription,
+                                UpdateReport)
 
 __all__ = [
     "AdmissionController", "AdmissionStats", "estimate_query_bytes",
@@ -56,4 +63,5 @@ __all__ = [
     "group_prefix_len", "plan_signature", "signature_of_plan",
     "LatencyRecorder", "ServiceStats", "percentile",
     "ServiceInstruments", "ServiceTracer",
+    "DeltaBatch", "SubscribeRequest", "Subscription", "UpdateReport",
 ]

@@ -68,6 +68,18 @@ class ServiceInstruments:
         self.execute = registry.histogram(
             "serve_execute_seconds", "dispatch-to-completion execution time",
             time_base="wall", reservoir=10_000)
+        self.stream_updates = registry.counter(
+            "stream_updates_total", "graph update batches applied",
+            ("dataset",))
+        self.stream_deltas = registry.counter(
+            "stream_deltas_emitted_total",
+            "standing-subscription match deltas emitted, by sign", ("sign",))
+        self.stream_subscriptions = registry.gauge(
+            "stream_subscriptions", "active standing subscriptions")
+        self.stream_batch_latency = registry.histogram(
+            "stream_batch_latency_seconds",
+            "per-subscription delta enumeration latency for one update batch",
+            time_base="wall", reservoir=10_000)
 
     def observe_queue_depths(self, depths: dict[str, int]) -> None:
         for priority, depth in depths.items():
@@ -87,3 +99,16 @@ class ServiceInstruments:
 
     def observe_share_group(self, size: int) -> None:
         self.share_group.observe(float(size))
+
+    def stream_update(self, dataset: str) -> None:
+        self.stream_updates.inc_child(self.stream_updates.labels(dataset))
+
+    def stream_batch(self, additions: int, retractions: int,
+                     latency_s: float) -> None:
+        if additions:
+            self.stream_deltas.inc_child(self.stream_deltas.labels("+"),
+                                         float(additions))
+        if retractions:
+            self.stream_deltas.inc_child(self.stream_deltas.labels("-"),
+                                         float(retractions))
+        self.stream_batch_latency.observe(latency_s)

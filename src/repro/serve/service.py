@@ -47,6 +47,9 @@ from ..cluster.errors import QueryCancelledError, ReproError
 from ..core.cancel import CancelToken
 from ..core.engine import EngineConfig, EnumerationResult, HugeEngine
 from ..graph.graph import Graph
+from ..graph.updates import apply_updates as graph_apply_updates
+from ..stream.subscribe import (DeltaBatch, SubscribeRequest, Subscription,
+                                UpdateReport)
 from ..obs.flight import FlightRecorder
 from ..obs.metrics import MetricsRegistry
 from ..query.pattern import QueryGraph, get_query
@@ -147,7 +150,12 @@ class Executor:
     def _cluster(self, graph: Graph, req: QueryRequest) -> Cluster:
         key = (req.dataset, req.num_machines, req.workers_per_machine,
                req.partition_seed)
-        cluster = self._clusters.get(key)
+        cached = self._clusters.get(key)
+        # a dataset re-registration (streaming update) swaps the snapshot
+        # under the same name: a cached cluster is only valid for the
+        # exact graph object it was built on
+        cluster = cached[1] if cached is not None and cached[0] is graph \
+            else None
         if cluster is None:
             owner = (self.partition_provider(req)
                      if self.partition_provider is not None else None)
@@ -155,9 +163,10 @@ class Executor:
                               workers_per_machine=req.workers_per_machine,
                               cost=self.cost, seed=req.partition_seed,
                               owner=owner)
-            if len(self._clusters) >= self._max_clusters:
+            if key not in self._clusters and \
+                    len(self._clusters) >= self._max_clusters:
                 self._clusters.popitem(last=False)
-            self._clusters[key] = cluster
+            self._clusters[key] = (graph, cluster)
         else:
             self._clusters.move_to_end(key)
         return cluster
@@ -307,6 +316,56 @@ def run_query_solo(graph: Graph, request: QueryRequest,
 _SHUTDOWN = object()
 
 
+class _UpdateWork:
+    """Shared completion latch for one ``apply_updates`` fan-out.
+
+    ``apply_updates`` enqueues one :class:`_DeltaTask` per standing
+    subscription, then blocks on :meth:`wait` until every task has
+    reported through :meth:`done` — serialising update batches per
+    dataset so graph versions (and therefore delivery seqs) stay
+    monotonic.
+    """
+
+    def __init__(self, dataset: str, version: int, old_graph: Graph,
+                 new_graph: Graph, delta, count: int):
+        self.dataset = dataset
+        self.version = version
+        self.old_graph = old_graph
+        self.new_graph = new_graph
+        self.delta = delta
+        self._remaining = count
+        self._cond = threading.Condition()
+        self.batches: dict[int, DeltaBatch] = {}
+
+    def done(self, sub_seq: int, batch: DeltaBatch) -> None:
+        with self._cond:
+            self.batches[sub_seq] = batch
+            self._remaining -= 1
+            self._cond.notify_all()
+
+    def wait(self, timeout: float) -> bool:
+        with self._cond:
+            return self._cond.wait_for(lambda: self._remaining <= 0,
+                                       timeout=timeout)
+
+
+class _DeltaTask:
+    """One subscription's share of an update batch, run on a pool worker.
+
+    Delta passes always run in-process on the worker *thread* (the
+    columnar delta kernels are cheap relative to full enumeration);
+    under the process backend they simply bypass the child process.
+    """
+
+    __slots__ = ("sub", "work", "reserved_bytes")
+
+    def __init__(self, sub: Subscription, work: _UpdateWork,
+                 reserved_bytes: float):
+        self.sub = sub
+        self.work = work
+        self.reserved_bytes = reserved_bytes
+
+
 class _Worker(threading.Thread):
     """One pool worker; dies on an injected crash (no cleanup — the
     dispatcher's liveness check is the detection path)."""
@@ -450,7 +509,12 @@ class QueryService:
             "rejected": 0, "retries": 0, "worker_crashes": 0,
             "delivery_violations": 0, "shared_groups": 0,
             "shared_requests": 0, "result_cache_hits": 0,
+            "stream_updates": 0, "stream_batches": 0,
+            "stream_additions": 0, "stream_retractions": 0,
+            "stream_errors": 0, "subscriptions": 0,
         }
+        #: standing subscriptions: dataset -> {sub seq -> Subscription}
+        self._subscriptions: dict[str, dict[int, Subscription]] = {}
         # when a registry is attached, the recorders share its histograms:
         # snapshot percentiles and the exposition report the same samples
         obs = self.obs
@@ -488,6 +552,191 @@ class QueryService:
         if self.result_cache is None:
             return 0
         return self.result_cache.invalidate(dataset=dataset, tenant=tenant)
+
+    # -- streaming subscriptions -----------------------------------------------
+
+    def subscribe(self, request: SubscribeRequest) -> Subscription:
+        """Register a standing pattern subscription against a dataset.
+
+        Every subsequent :meth:`apply_updates` on the dataset delivers
+        one signed :class:`~repro.stream.subscribe.DeltaBatch` to the
+        returned handle — additions enumerated on the post-update
+        snapshot, retractions on the pre-update one, each graph version
+        exactly once.  With ``request.bootstrap`` the current snapshot's
+        matches are delivered up front as an initial all-additions batch.
+        """
+        if not self._started or self._stop_requested:
+            raise RuntimeError("service is not accepting requests")
+        graph = self._resolve_graph(request.dataset)
+        pattern = (request.pattern if isinstance(request.pattern, QueryGraph)
+                   else get_query(request.pattern))
+        sub = Subscription(request, pattern, service=self)
+        with self._cond:
+            self._subscriptions.setdefault(
+                request.dataset, {})[request.seq] = sub
+            self._counters["subscriptions"] += 1
+        if self.flight is not None:
+            self.flight.begin(request.seq, request.label,
+                              tenant=request.tenant)
+            self.flight.event(request.seq, "subscribed",
+                              pattern=pattern.name, dataset=request.dataset)
+        if self.obs is not None:
+            self.obs.stream_subscriptions.inc(1.0)
+        if request.bootstrap:
+            t0 = self._now()
+            matches = sub.enumerator.delta_matches(graph, graph.edges())
+            batch = DeltaBatch(
+                seq=self.graph_version(request.dataset),
+                dataset=request.dataset, inserted=(), deleted=(),
+                additions=tuple(matches), retractions=(),
+                count_after=len(matches), latency_s=self._now() - t0)
+            sub._deliver(batch, abort=self._abort)
+            if self.flight is not None:
+                self.flight.event(request.seq, "bootstrapped",
+                                  count=len(matches))
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Deregister a subscription; pending deliveries stay consumable."""
+        with self._cond:
+            subs = self._subscriptions.get(sub.request.dataset, {})
+            subs.pop(sub.request.seq, None)
+        sub._close()
+        if self.flight is not None:
+            self.flight.finish(sub.request.seq, "unsubscribed",
+                               batches=sub.delivered_batches,
+                               count=sub.count)
+        if self.obs is not None:
+            self.obs.stream_subscriptions.inc(-1.0)
+
+    def _estimate_delta_bytes(self, sub: Subscription, graph: Graph,
+                              delta_size: int) -> float:
+        # coarse working-set bound for the admission ledger: each Δ-edge
+        # seeds |E_q| pinned extensions whose frontier is at most one
+        # adjacency list wide per placed vertex (8-byte ids)
+        vq = sub.pattern.num_vertices
+        eq = max(1, sub.pattern.num_edges)
+        return 8.0 * delta_size * eq * vq * max(1.0, graph.avg_degree)
+
+    def apply_updates(self, dataset: str, inserts=(), deletes=(),
+                      timeout: float = 60.0) -> UpdateReport:
+        """Apply one edge-update batch to a registered dataset.
+
+        Produces a new immutable snapshot (``E' = (E ∪ I) \\ D``), bumps
+        the dataset's graph version through :meth:`register_dataset` —
+        which invalidates stale result-cache entries — and fans one
+        delta task per standing subscription out through the worker
+        pool.  Blocks until every subscription has been notified (or
+        ``timeout`` elapses), so updates on one dataset are serialised
+        and delivery seqs are monotonic.
+        """
+        if not self._started or self._stop_requested:
+            raise RuntimeError("service is not accepting updates")
+        t0 = self._now()
+        old_graph = self._resolve_graph(dataset)
+        new_graph, delta = graph_apply_updates(old_graph, inserts, deletes)
+        self.register_dataset(dataset, new_graph)
+        version = self.graph_version(dataset)
+        with self._cond:
+            subs = list(self._subscriptions.get(dataset, {}).values())
+            self._counters["stream_updates"] += 1
+        if self.obs is not None:
+            self.obs.stream_update(dataset)
+        if self.tracer:
+            self.tracer.instant("graph update", ENGINE,
+                                {"dataset": dataset, "version": version,
+                                 "inserted": len(delta.inserted),
+                                 "deleted": len(delta.deleted),
+                                 "subscriptions": len(subs)})
+        work = _UpdateWork(dataset, version, old_graph, new_graph, delta,
+                           count=len(subs))
+        for sub in subs:
+            estimate = self._estimate_delta_bytes(sub, new_graph, delta.size)
+            reserved = self.admission.try_reserve(estimate)
+            task = _DeltaTask(sub, work, estimate if reserved else 0.0)
+            with self._cond:
+                self._dispatch_units += 1
+            self._ready.put(task)
+        completed = work.wait(timeout) if subs else True
+        batches = tuple(work.batches[s.seq] for s in subs
+                        if s.seq in work.batches)
+        return UpdateReport(
+            dataset=dataset, version=version, inserted=delta.inserted,
+            deleted=delta.deleted, batches=batches,
+            wall_s=self._now() - t0, timed_out=not completed)
+
+    def _run_delta_task(self, worker: _Worker, task: _DeltaTask) -> None:
+        """Run one subscription's delta passes on a pool worker thread.
+
+        Never raises: a failing pass is delivered as an errored batch
+        (and counted) rather than killing the worker.
+        """
+        sub, work = task.sub, task.work
+        t0 = self._now()
+        additions: list = []
+        retractions: list = []
+        error: str | None = None
+        try:
+            retractions = sub.enumerator.delta_matches(
+                work.old_graph, work.delta.deleted)
+            additions = sub.enumerator.delta_matches(
+                work.new_graph, work.delta.inserted)
+        except Exception as exc:  # noqa: BLE001 - worker boundary
+            error = f"{type(exc).__name__}: {exc}"
+        latency = self._now() - t0
+        batch = DeltaBatch(
+            seq=work.version, dataset=work.dataset,
+            inserted=work.delta.inserted, deleted=work.delta.deleted,
+            additions=tuple(additions), retractions=tuple(retractions),
+            count_after=sub.count + len(additions) - len(retractions),
+            latency_s=latency, error=error)
+        try:
+            delivered = sub._deliver(batch, abort=self._abort)
+            with self._cond:
+                self._counters["stream_batches"] += 1
+                self._counters["stream_additions"] += len(additions)
+                self._counters["stream_retractions"] += len(retractions)
+                if error is not None:
+                    self._counters["stream_errors"] += 1
+            if self.obs is not None:
+                self.obs.stream_batch(len(additions), len(retractions),
+                                      latency)
+            if self.flight is not None:
+                seq = sub.request.seq
+                self.flight.event(seq, "delta_batch", version=work.version,
+                                  worker=worker.wid,
+                                  inserted=len(work.delta.inserted),
+                                  deleted=len(work.delta.deleted),
+                                  additions=len(additions),
+                                  retractions=len(retractions),
+                                  latency_s=latency, error=error)
+                if retractions:
+                    self.flight.event(seq, "retracted",
+                                      version=work.version,
+                                      matches=len(retractions))
+                self.flight.event(
+                    seq, "delivered" if delivered else "delivery_dropped",
+                    version=work.version, count=sub.count)
+        except Exception:  # noqa: BLE001 - keep the latch + worker alive
+            pass
+        finally:
+            if task.reserved_bytes:
+                self.admission.release(task.reserved_bytes)
+            work.done(sub.request.seq, batch)
+
+    def stream_stats(self) -> dict:
+        """Streaming-side counters (see :meth:`stats` for the query side)."""
+        with self._cond:
+            active = sum(len(s) for s in self._subscriptions.values())
+            return {
+                "subscriptions_total": self._counters["subscriptions"],
+                "subscriptions_active": active,
+                "stream_updates": self._counters["stream_updates"],
+                "stream_batches": self._counters["stream_batches"],
+                "stream_additions": self._counters["stream_additions"],
+                "stream_retractions": self._counters["stream_retractions"],
+                "stream_errors": self._counters["stream_errors"],
+            }
 
     def _new_worker(self, wid: int) -> _Worker:
         if self._procpool is not None:
@@ -536,7 +785,12 @@ class QueryService:
         with self._cond:
             self._stop_requested = True
             self._drain_on_stop = drain
+            subs = [s for d in self._subscriptions.values()
+                    for s in d.values()]
+            self._subscriptions.clear()
             self._cond.notify_all()
+        for sub in subs:
+            sub._close()
         assert self._dispatcher is not None
         self._dispatcher.join(timeout)
         self._abort.set()
@@ -1046,6 +1300,9 @@ class QueryService:
         ``WorkerCrashError`` deliberately propagates — the caller treats
         it as thread death.
         """
+        if isinstance(entry, _DeltaTask):
+            self._run_delta_task(worker, entry)
+            return
         if entry.group is not None:
             self._run_group(worker, entry.group)
             return

@@ -1,0 +1,27 @@
+"""Incremental subgraph enumeration over streaming graph updates.
+
+``repro.stream`` turns the static engine incremental: a standing query
+is decomposed into per-query-edge *delta plans* so that after an update
+batch Δ only the embeddings touching Δ are (re-)enumerated — per-batch
+work proportional to ``|Δ|`` rather than ``|E|``.  Edge insertions emit
+``+`` match deltas, deletions emit ``-`` retractions, and accumulating
+the signed deltas reproduces, bit-identically, a from-scratch run on
+the final graph (the ``delta`` conformance family asserts exactly this).
+
+The serving tier exposes the subsystem as standing subscriptions: see
+:meth:`repro.serve.QueryService.subscribe` and
+:meth:`repro.serve.QueryService.apply_updates`.
+"""
+
+from .delta import BatchResult, DeltaEnumerator, IncrementalMatcher
+from .subscribe import DeltaBatch, SubscribeRequest, Subscription, UpdateReport
+
+__all__ = [
+    "BatchResult",
+    "DeltaEnumerator",
+    "IncrementalMatcher",
+    "DeltaBatch",
+    "SubscribeRequest",
+    "Subscription",
+    "UpdateReport",
+]

@@ -29,9 +29,9 @@ from ..core.cache import CACHE_VARIANTS
 from ..core.engine import EngineConfig
 from ..core.stealing import STEALING_MODES
 
-__all__ = ["BASELINE_ENGINES", "CENSUS_SIZES", "PLAN_MODES", "EngineSpec",
-           "baseline_matrix", "census_matrix", "default_matrix",
-           "smoke_matrix"]
+__all__ = ["BASELINE_ENGINES", "CENSUS_SIZES", "DELTA_SCHEDULES",
+           "PLAN_MODES", "EngineSpec", "baseline_matrix", "census_matrix",
+           "default_matrix", "delta_matrix", "smoke_matrix"]
 
 #: baseline engines the harness can run (HUGE is ``"huge"``; ``"census"``
 #: is the ESU motif-census workload family)
@@ -39,6 +39,9 @@ BASELINE_ENGINES = ("seed", "bigjoin", "benu", "rads")
 
 #: census subgraph sizes the census workload family fans across
 CENSUS_SIZES = (3, 4, 5)
+
+#: update-batch schedules the delta (incremental) family fans across
+DELTA_SCHEDULES = ("insert", "delete", "mixed")
 
 #: accepted values of :attr:`EngineSpec.plan` for HUGE runs
 PLAN_MODES = ("optimal", "wco", "seed", "benu", "rads", "starjoin")
@@ -61,15 +64,27 @@ class EngineSpec:
     disable_symmetry: bool = False
     census_k: int | None = None
     """Subgraph size for ``engine="census"`` specs (ignored otherwise)."""
+    delta_schedule: str | None = None
+    """Batch schedule for ``engine="delta"`` specs: ``insert`` (insert-only),
+    ``delete`` (delete-only) or ``mixed`` (both, plus same-batch churn)."""
+    delta_batches: int = 3
+    """How many update batches the delta schedule spreads its edits over."""
 
     def __post_init__(self) -> None:
-        if self.engine not in ("huge", "census") \
+        if self.engine not in ("huge", "census", "delta") \
                 and self.engine not in BASELINE_ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}")
         if self.engine == "census":
             if self.census_k is None or not 2 <= self.census_k <= 5:
                 raise ValueError(f"census specs need census_k in 2..5, "
                                  f"got {self.census_k!r}")
+        if self.engine == "delta":
+            if self.delta_schedule not in DELTA_SCHEDULES:
+                raise ValueError(
+                    f"delta specs need delta_schedule in {DELTA_SCHEDULES}, "
+                    f"got {self.delta_schedule!r}")
+            if self.delta_batches < 1:
+                raise ValueError("delta_batches must be >= 1")
         if self.engine == "huge":
             if self.plan not in PLAN_MODES:
                 raise ValueError(f"unknown plan mode {self.plan!r}; "
@@ -90,14 +105,22 @@ class EngineSpec:
         """Whether this spec runs the ESU motif census."""
         return self.engine == "census"
 
+    @property
+    def is_delta(self) -> bool:
+        """Whether this spec runs the incremental (streaming delta) path."""
+        return self.engine == "delta"
+
     def supports(self, workload) -> bool:
         """Whether this engine can run ``workload`` at all.  The baseline
         reproductions implement the papers' unlabelled algorithms, so
         label-constrained patterns are HUGE-only.  The census ignores the
         workload's pattern and labels entirely (it enumerates the data
-        graph), so it supports every workload."""
+        graph), so it supports every workload.  The delta path supports
+        labels but needs a pattern with at least one edge to pin."""
         if self.is_census:
             return True
+        if self.is_delta:
+            return workload.pattern().num_edges > 0
         if not self.is_huge:
             return workload.pattern_labels is None
         return True
@@ -172,6 +195,8 @@ def default_matrix() -> list[EngineSpec]:
         EngineSpec("rads", engine="rads"),
         # -- the ESU motif-census workload family (pattern-independent)
         *census_matrix(),
+        # -- the incremental (streaming delta) workload family
+        *delta_matrix(),
     ]
 
 
@@ -184,6 +209,21 @@ def census_matrix() -> list[EngineSpec]:
     once-per-class guarantee)."""
     return [EngineSpec(f"census-k{k}", engine="census", census_k=k)
             for k in CENSUS_SIZES]
+
+
+def delta_matrix() -> list[EngineSpec]:
+    """The incremental workload family: one spec per update-batch schedule.
+
+    Each spec derives a deterministic batch schedule from the workload
+    (held-out inserts, planted-then-deleted extras, or both) whose final
+    graph equals the workload graph, replays it through
+    :class:`~repro.stream.delta.IncrementalMatcher`, and presents the
+    accumulated standing matches as the outcome — so the standard count /
+    embeddings / symmetry oracles assert incremental ≡ from-scratch,
+    while the delta-once oracle asserts no batch double-counts or
+    retracts an undelivered match."""
+    return [EngineSpec(f"delta-{s}", engine="delta", delta_schedule=s)
+            for s in DELTA_SCHEDULES]
 
 
 def baseline_matrix() -> list[EngineSpec]:

@@ -1,0 +1,147 @@
+"""The delta (incremental) conformance family: schedules and runner.
+
+A ``delta`` spec does not run an engine over the workload graph — it
+*derives* a deterministic update-batch schedule whose replay ends at the
+workload graph, then drives :class:`~repro.stream.delta.IncrementalMatcher`
+through it:
+
+* ``insert``  — hold out up to half the workload's edges; the base
+  snapshot is the rest and the batches re-insert the held-out edges.
+* ``delete``  — plant extra non-edges into the base snapshot; the
+  batches delete them again.
+* ``mixed``   — both at once, plus *churn* pairs (a planted extra edge
+  inserted in one batch and deleted in a later one) so retraction of
+  previously delivered matches is exercised on every mixed case.
+
+Because every schedule's final graph **is** the workload graph, the
+accumulated standing matches feed straight into the standard count /
+embeddings / symmetry oracles against the brute-force
+:class:`~repro.testing.oracles.Reference` — asserting incremental ≡
+from-scratch bit-identically.  The per-batch bookkeeping recorded here
+additionally feeds the ``delta-once`` oracle (no double-counted
+addition, no retraction of an undelivered match, exact accumulation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..stream.delta import IncrementalMatcher
+from .configs import EngineSpec
+from .workloads import Workload
+
+__all__ = ["delta_schedule", "run_delta"]
+
+Edge = tuple[int, int]
+
+_SCHEDULE_SALT = {"insert": 1, "delete": 2, "mixed": 3}
+
+
+def _split(rng: np.random.Generator, items: list, batches: int
+           ) -> list[list]:
+    """Deterministically spread ``items`` over ``batches`` buckets."""
+    out: list[list] = [[] for _ in range(batches)]
+    for i, item in enumerate(items):
+        out[int(rng.integers(batches))].append(item)
+    return out
+
+
+def delta_schedule(workload: Workload, spec: EngineSpec
+                   ) -> tuple[Graph, list[tuple[list[Edge], list[Edge]]]]:
+    """Derive ``(base_snapshot, [(inserts, deletes), ...])`` for a spec.
+
+    Deterministic in ``(workload.seed, spec.delta_schedule)``; replaying
+    the batches from the base snapshot ends exactly at the workload
+    graph.
+    """
+    kind = spec.delta_schedule
+    rng = np.random.default_rng(
+        workload.seed * 7919 + _SCHEDULE_SALT[kind])
+    n = workload.num_vertices
+    final_edges = sorted({(min(u, v), max(u, v))
+                          for (u, v) in workload.edges if u != v})
+    edge_set = set(final_edges)
+    batches = spec.delta_batches
+
+    held_out: list[Edge] = []
+    if kind in ("insert", "mixed") and final_edges:
+        k = max(1, len(final_edges) // 2)
+        idx = rng.choice(len(final_edges), size=k, replace=False)
+        held_out = [final_edges[i] for i in sorted(idx.tolist())]
+
+    extras: list[Edge] = []
+    churn: list[Edge] = []
+    if kind in ("delete", "mixed"):
+        non_edges = [(u, v) for u in range(n) for v in range(u + 1, n)
+                     if (u, v) not in edge_set]
+        rng.shuffle(non_edges)
+        want = max(1, len(final_edges) // 2) if non_edges else 0
+        extras = non_edges[:want]
+        if kind == "mixed" and batches >= 2 and len(non_edges) > want:
+            # churn edges are inserted mid-stream and deleted again later
+            churn = non_edges[want:want + max(1, want // 2)]
+
+    base = Graph.from_edges(
+        [e for e in final_edges if e not in set(held_out)] + extras,
+        num_vertices=n)
+
+    ins_parts = _split(rng, held_out, batches)
+    del_parts = _split(rng, extras, batches)
+    plan: list[tuple[list[Edge], list[Edge]]] = [
+        (sorted(ins_parts[b]), sorted(del_parts[b])) for b in range(batches)]
+    for i, e in enumerate(churn):
+        b_in = int(rng.integers(batches - 1))
+        b_out = int(rng.integers(b_in + 1, batches))
+        plan[b_in][0].append(e)
+        plan[b_out][1].append(e)
+    if churn and batches >= 1:
+        # same-batch churn: insert-then-delete inside one batch must be a
+        # net no-op (deletes win), so plant one in the last batch too
+        non = [(u, v) for u in range(min(n, 12))
+               for v in range(u + 1, min(n, 12))
+               if (u, v) not in edge_set and (u, v) not in set(extras)
+               and (u, v) not in set(churn)]
+        if non:
+            e = non[int(rng.integers(len(non)))]
+            plan[-1][0].append(e)
+            plan[-1][1].append(e)
+    return base, plan
+
+
+def run_delta(workload: Workload, spec: EngineSpec, outcome) -> None:
+    """Replay the spec's schedule into ``outcome`` (a ``CaseOutcome``).
+
+    Fills ``outcome.count`` / ``outcome.matches`` with the accumulated
+    final state (consumed by the standard oracles) and
+    ``outcome.delta_batches`` / ``outcome.delta_violations`` with the
+    per-batch bookkeeping the ``delta-once`` oracle checks.
+    """
+    from ..query.symmetry import symmetry_break
+
+    pattern = workload.pattern()
+    conditions = frozenset() if spec.disable_symmetry else \
+        symmetry_break(pattern)
+    base, plan = delta_schedule(workload, spec)
+    matcher = IncrementalMatcher(pattern, base, conditions=conditions,
+                                 labels=workload.label_array())
+    records: list[dict] = []
+    for inserts, deletes in plan:
+        before = set(matcher.matches)
+        result = matcher.apply(inserts, deletes)
+        adds, rets = result.additions, result.retractions
+        records.append({
+            "inserted": len(result.delta.inserted),
+            "deleted": len(result.delta.deleted),
+            "additions": len(adds),
+            "retractions": len(rets),
+            "duplicate_additions": len(adds) - len(set(adds)),
+            "duplicate_retractions": len(rets) - len(set(rets)),
+            "stale_additions": sum(1 for m in adds if m in before),
+            "missing_retractions": sum(1 for m in rets if m not in before),
+            "count_after": result.count_after,
+        })
+    outcome.count = matcher.count
+    outcome.matches = sorted(matcher.matches)
+    outcome.delta_batches = records
+    outcome.delta_violations = matcher.violations

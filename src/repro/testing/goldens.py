@@ -46,8 +46,12 @@ def golden_specs() -> list[EngineSpec]:
     the scalar cost chains bit for bit.  Census specs are excluded: they
     run a pattern-independent workload whose determinism is gated by
     ``benchmarks/bench_census.py`` (two fresh runs bit-identical) and the
-    census conformance family instead."""
-    return [s for s in default_matrix() if not s.is_census]
+    census conformance family instead.  Delta specs are excluded for the
+    same reason: the delta family's incremental-vs-from-scratch oracles
+    plus ``benchmarks/bench_stream.py`` pin their determinism, and the
+    incremental passes don't produce a simulated cost report."""
+    return [s for s in default_matrix()
+            if not s.is_census and not s.is_delta]
 
 
 def golden_workloads() -> list[tuple[str, Workload]]:

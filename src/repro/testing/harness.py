@@ -88,7 +88,10 @@ def execute(workload: Workload, spec: EngineSpec,
                       seed=workload.partition_seed,
                       labels=workload.label_array())
     try:
-        if spec.is_census:
+        if spec.is_delta:
+            from .deltas import run_delta
+            run_delta(workload, spec, outcome)
+        elif spec.is_census:
             census = motif_census(cluster, spec.census_k, tracer=tracer)
             outcome.count = census.total_subgraphs
             outcome.report = census.report

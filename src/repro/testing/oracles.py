@@ -43,6 +43,18 @@ canonical form the census itself no longer uses):
   (when the graph is small enough to afford the ordered sweep) the
   per-class labelled-embedding count equals ``census × |Aut|`` — i.e.
   labelled counts divide by the automorphism order exactly.
+
+Delta specs (``engine="delta"``, the incremental streaming family) end
+their batch schedule at the workload graph, so their accumulated
+standing matches go through the standard ``count`` / ``embeddings`` /
+``symmetry`` oracles unchanged — incremental ≡ from-scratch,
+bit-identically — plus one family-specific oracle:
+
+* ``delta-once`` — per batch, no addition is emitted twice, no emitted
+  addition was already standing, every retraction retracts a standing
+  match, and the running count folds exactly (the
+  :class:`~repro.stream.delta.IncrementalMatcher` violation counter
+  stays zero).
 """
 
 from __future__ import annotations
@@ -59,9 +71,10 @@ from ..query.pattern import QueryGraph
 from .configs import EngineSpec
 from .workloads import Workload
 
-__all__ = ["CENSUS_ORACLES", "ORACLES", "CaseOutcome", "CensusReference",
-           "OracleFailure", "Reference", "check_case", "check_census_case",
-           "compute_census_reference", "compute_reference"]
+__all__ = ["CENSUS_ORACLES", "DELTA_ORACLES", "ORACLES", "CaseOutcome",
+           "CensusReference", "OracleFailure", "Reference", "check_case",
+           "check_census_case", "compute_census_reference",
+           "compute_reference"]
 
 #: the oracle names, in checking order
 ORACLES = ("error", "count", "embeddings", "symmetry", "memory-bound",
@@ -70,6 +83,9 @@ ORACLES = ("error", "count", "embeddings", "symmetry", "memory-bound",
 #: the census-family oracle names, in checking order
 CENSUS_ORACLES = ("error", "census-total", "census-classes", "census-memo",
                   "census-automorphism")
+
+#: the delta-family oracle names (checked on top of the standard ones)
+DELTA_ORACLES = ("delta-once",)
 
 #: permutation budget above which the labelled-embedding sweep of the
 #: census reference is skipped (``C(n, k) · k!`` grows fast at k=5)
@@ -124,6 +140,12 @@ class CaseOutcome:
     """Motif name → production canonical key."""
     census_memo_hits: int = 0
     census_canon_calls: int = 0
+    # delta-spec observables (None on non-incremental runs)
+    delta_batches: list[dict] | None = None
+    """Per-batch bookkeeping: edge/match delta sizes, duplicate/stale
+    addition counters, missing-retraction counters, running count."""
+    delta_violations: int = 0
+    """The IncrementalMatcher's fold-time exactly-once violation count."""
 
     @property
     def ok(self) -> bool:
@@ -287,7 +309,43 @@ def check_case(workload: Workload, spec: EngineSpec, outcome: CaseOutcome,
     ):
         if failure is not None:
             failures.append(failure)
+    if spec.is_delta:
+        failure = _check_delta_once(outcome)
+        if failure is not None:
+            failures.append(failure)
     return failures
+
+
+def _check_delta_once(outcome: CaseOutcome) -> OracleFailure | None:
+    """Per-batch exactly-once bookkeeping of an incremental run.
+
+    Each batch must emit every addition once and only for matches that
+    were not already standing, and every retraction exactly once for a
+    match that *was* standing; the matcher's own fold must agree (zero
+    violations) and the final batch's running count must equal the
+    outcome's accumulated count.
+    """
+    if outcome.delta_violations:
+        return OracleFailure(
+            "delta-once", f"matcher recorded {outcome.delta_violations} "
+            f"fold violations (duplicate addition or unmatched retraction)")
+    records = outcome.delta_batches or []
+    for i, rec in enumerate(records):
+        for key in ("duplicate_additions", "duplicate_retractions",
+                    "stale_additions", "missing_retractions"):
+            if rec.get(key, 0):
+                return OracleFailure(
+                    "delta-once",
+                    f"batch {i}: {rec[key]} {key.replace('_', ' ')} "
+                    f"(additions={rec['additions']}, "
+                    f"retractions={rec['retractions']})")
+    if records and records[-1].get("count_after") != outcome.count:
+        return OracleFailure(
+            "delta-once",
+            f"running count after final batch "
+            f"({records[-1].get('count_after')}) != accumulated count "
+            f"({outcome.count})")
+    return None
 
 
 # -- the census family ---------------------------------------------------------

@@ -218,3 +218,35 @@ class TestMetricsCommand:
         text = path.read_text()
         assert check_exposition(text) == []
         assert "repro_census_subgraphs_total" in text
+
+
+class TestStreamCommand:
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream", "--data", "GO"])
+        args.func  # bound
+        assert args.updates == 40 and args.batch == 8
+        assert args.patterns == "triangle,q1"
+
+    def test_stream_verify_smoke(self, capsys):
+        assert main(["stream", "--data", "GO", "--smoke", "--updates", "16",
+                     "--batch", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "stream: " in out
+        assert "verify: incremental counts bit-identical" in out
+
+    def test_stream_json_with_metrics_and_flight(self, tmp_path, capsys):
+        from repro.obs import check_exposition
+
+        mpath = tmp_path / "st.prom"
+        fpath = tmp_path / "st.jsonl"
+        assert main(["stream", "--data", "GO", "--updates", "12",
+                     "--batch", "4", "--verify", "--json",
+                     "--metrics", str(mpath), "--flight", str(fpath)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["verified"] is True
+        assert data["stream_stats"]["stream_errors"] == 0
+        assert len(data["reports"]) == data["update_batches"]
+        text = mpath.read_text()
+        assert check_exposition(text) == []
+        assert "stream_updates_total" in text
+        assert fpath.exists() and fpath.read_text().strip()

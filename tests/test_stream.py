@@ -1,0 +1,303 @@
+"""Tests for :mod:`repro.stream` and the mutable-graph update layer.
+
+The contract under test: ``apply_updates`` implements the batch
+semantics ``E' = (E ∪ I) \\ D`` (deletes win, edges normalised, no-op
+batches return the same snapshot), the seeded temporal stream replays
+deterministically to its source graph, and the delta enumerator emits
+exactly the matches that appear (or die) with a batch — bit-identical
+to brute-force from-scratch differencing, with no double counting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import enumerate_matches
+from repro.graph import (Graph, GraphDelta, TemporalStream, UpdateBatch,
+                         apply_updates, normalise_edges,
+                         temporal_edge_stream)
+from repro.graph import generators as gen
+from repro.query import QueryGraph, get_query
+from repro.stream import DeltaEnumerator, IncrementalMatcher
+
+TRIANGLE = get_query("triangle")
+SQUARE = get_query("q1")
+CLIQUE4 = get_query("q3")
+PATH5 = get_query("q6")
+
+
+def edge_set(graph):
+    return set(graph.edges())
+
+
+def brute(graph, pattern, labels=None):
+    return sorted(enumerate_matches(graph, pattern, labels=labels))
+
+
+# -- apply_updates semantics ---------------------------------------------------
+
+
+class TestApplyUpdates:
+    def test_insert_new_edge(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=3)
+        g2, delta = apply_updates(g, inserts=[(1, 2)])
+        assert delta == GraphDelta(inserted=((1, 2),), deleted=())
+        assert g2.has_edge(1, 2) and g2.has_edge(0, 1)
+        assert not g.has_edge(1, 2), "input snapshot is immutable"
+
+    def test_delete_existing_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], num_vertices=3)
+        g2, delta = apply_updates(g, deletes=[(2, 1)])
+        assert delta == GraphDelta(inserted=(), deleted=((1, 2),))
+        assert not g2.has_edge(1, 2) and g2.has_edge(0, 1)
+
+    def test_noop_batch_returns_same_snapshot(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        # insert a present edge, delete an absent one: effective Δ is empty
+        g2, delta = apply_updates(g, inserts=[(1, 0)], deletes=[(0, 5)])
+        assert delta.is_empty and delta.size == 0
+        assert g2 is g
+
+    def test_insert_then_delete_same_edge_is_net_noop(self):
+        # deletes win within a batch: E' = (E ∪ I) \ D
+        g = Graph.from_edges([(0, 1)], num_vertices=3)
+        g2, delta = apply_updates(g, inserts=[(1, 2)], deletes=[(1, 2)])
+        assert delta.is_empty
+        assert g2 is g
+
+    def test_delete_wins_over_present_edge(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        g2, delta = apply_updates(g, inserts=[(0, 1)], deletes=[(0, 1)])
+        assert delta.deleted == ((0, 1),) and delta.inserted == ()
+        assert g2.num_edges == 0
+
+    def test_duplicate_and_self_loop_edges_normalised(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=4)
+        g2, delta = apply_updates(
+            g, inserts=[(2, 3), (3, 2), (2, 3), (1, 1)])
+        assert delta.inserted == ((2, 3),)
+        assert g2.num_edges == 2
+
+    def test_insert_grows_vertex_set(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        g2, delta = apply_updates(g, inserts=[(1, 6)])
+        assert g2.num_vertices == 7
+        assert delta.inserted == ((1, 6),)
+
+    def test_negative_vertex_rejected(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        with pytest.raises(ValueError):
+            apply_updates(g, inserts=[(-1, 0)])
+
+    def test_normalise_edges(self):
+        assert normalise_edges([(3, 1), (1, 3), (2, 2)]) == {(1, 3)}
+
+    def test_random_batches_match_set_semantics(self):
+        rng = np.random.default_rng(11)
+        g = gen.erdos_renyi(18, 0.2, seed=1)
+        for _ in range(25):
+            ins = [tuple(rng.integers(0, 18, 2)) for _ in range(6)]
+            dels = [tuple(rng.integers(0, 18, 2)) for _ in range(6)]
+            g2, delta = apply_updates(g, ins, dels)
+            want = (edge_set(g) | normalise_edges(ins)) - normalise_edges(dels)
+            assert edge_set(g2) == want
+            assert set(delta.inserted) == want - edge_set(g)
+            assert set(delta.deleted) == edge_set(g) - want
+            g = g2
+
+
+# -- the seeded temporal stream ------------------------------------------------
+
+
+class TestTemporalStream:
+    def test_deterministic(self):
+        g = gen.erdos_renyi(30, 0.15, seed=2)
+        s1 = temporal_edge_stream(g, 40, batch_size=6, seed=9)
+        s2 = temporal_edge_stream(g, 40, batch_size=6, seed=9)
+        assert s1.batches == s2.batches
+        assert edge_set(s1.base) == edge_set(s2.base)
+
+    def test_final_graph_matches_manual_replay(self):
+        g = gen.erdos_renyi(30, 0.15, seed=2)
+        stream = temporal_edge_stream(g, 40, batch_size=6, seed=9)
+        cur = edge_set(stream.base)
+        for batch in stream.batches:
+            cur = (cur | set(batch.inserts)) - set(batch.deletes)
+        assert edge_set(stream.final_graph()) == cur
+        # inserts only ever re-add held-out source edges, so the stream
+        # stays within the source graph's edge set
+        assert cur <= edge_set(g)
+        assert stream.num_updates == sum(b.size for b in stream.batches) <= 40
+
+    def test_every_update_is_a_real_state_change(self):
+        g = gen.erdos_renyi(25, 0.2, seed=3)
+        stream = temporal_edge_stream(g, 50, batch_size=5, seed=4,
+                                      delete_fraction=0.4)
+        assert stream.num_updates > 0
+        cur = edge_set(stream.base)
+        for batch in stream.batches:
+            assert not (set(batch.inserts) & set(batch.deletes))
+            for e in batch.inserts:
+                assert e not in cur
+            for e in batch.deletes:
+                assert e in cur
+            cur = (cur | set(batch.inserts)) - set(batch.deletes)
+
+    def test_skewed_stream_targets_hubs(self):
+        g = gen.barabasi_albert(50, 3, seed=5)
+        stream = temporal_edge_stream(g, 30, batch_size=10, seed=6, skew=1.5)
+        assert stream.num_updates > 0
+        assert edge_set(stream.base) <= edge_set(g)
+        deg = {v: 0 for v in range(g.num_vertices)}
+        for u, v in g.edges():
+            deg[u] += 1
+            deg[v] += 1
+        held = edge_set(g) - edge_set(stream.base)
+        held_deg = np.mean([deg[u] + deg[v] for u, v in held])
+        all_deg = np.mean([deg[u] + deg[v] for u, v in g.edges()])
+        assert held_deg > all_deg, "skewed hold-out should prefer hubs"
+
+    def test_update_batch_size(self):
+        b = UpdateBatch(inserts=((0, 1),), deletes=((2, 3), (4, 5)))
+        assert b.size == 3
+
+
+# -- delta enumeration vs brute force ------------------------------------------
+
+
+def check_delta_is_difference(graph, base, pattern, labels=None):
+    """Δ-matches on ``graph`` with Δ = E(graph) − E(base) must equal the
+    set difference of the two from-scratch enumerations, duplicate-free."""
+    delta = sorted(edge_set(graph) - edge_set(base))
+    got = DeltaEnumerator(pattern).delta_matches(graph, delta, labels=labels)
+    assert len(got) == len(set(got)), "a match was emitted twice"
+    want = set(brute(graph, pattern, labels)) - set(brute(base, pattern,
+                                                          labels))
+    assert set(got) == want
+
+
+@pytest.mark.parametrize("pattern", [TRIANGLE, SQUARE, CLIQUE4, PATH5],
+                         ids=lambda p: p.name)
+def test_delta_matches_equal_scratch_difference(pattern):
+    rng = np.random.default_rng(17)
+    for trial in range(10):
+        g = gen.erdos_renyi(14, 0.3, seed=100 + trial)
+        edges = sorted(edge_set(g))
+        keep = rng.random(len(edges)) < 0.6
+        base = Graph.from_edges(
+            [e for e, k in zip(edges, keep) if k],
+            num_vertices=g.num_vertices)
+        check_delta_is_difference(g, base, pattern)
+
+
+def test_bootstrap_full_edge_delta_is_from_scratch():
+    g = gen.erdos_renyi(16, 0.3, seed=8)
+    for pattern in (TRIANGLE, SQUARE):
+        got = DeltaEnumerator(pattern).delta_matches(g, g.edges())
+        assert sorted(got) == brute(g, pattern)
+        assert len(got) == len(set(got))
+
+
+def test_delta_edges_absent_from_graph_are_ignored():
+    g = Graph.from_edges([(0, 1), (1, 2), (0, 2)], num_vertices=4)
+    got = DeltaEnumerator(TRIANGLE).delta_matches(g, [(0, 3), (0, 1)])
+    assert sorted(got) == brute(g, TRIANGLE)
+
+
+def test_labelled_delta_matches():
+    rng = np.random.default_rng(23)
+    labels = rng.integers(0, 2, 14).astype(np.int64)
+    pattern = QueryGraph(3, [(0, 1), (1, 2), (0, 2)], name="lab-tri",
+                         labels=[0, 1, None])
+    for trial in range(6):
+        g = gen.erdos_renyi(14, 0.35, seed=300 + trial)
+        edges = sorted(edge_set(g))
+        base = Graph.from_edges(edges[: len(edges) // 2],
+                                num_vertices=g.num_vertices)
+        check_delta_is_difference(g, base, pattern, labels=labels)
+
+
+def test_rejects_degenerate_patterns():
+    with pytest.raises(ValueError):
+        DeltaEnumerator(QueryGraph(4, [(0, 1), (2, 3)]))  # disconnected
+    with pytest.raises(ValueError):
+        DeltaEnumerator(QueryGraph(1, []))
+
+
+@settings(deadline=None)
+@given(seed=st.integers(0, 10_000), keep=st.floats(0.1, 0.9),
+       data=st.sampled_from(["triangle", "q1", "q6"]))
+def test_delta_difference_property(seed, keep, data):
+    rng = np.random.default_rng(seed)
+    g = gen.erdos_renyi(12, 0.35, seed=seed % 997)
+    edges = sorted(edge_set(g))
+    mask = rng.random(len(edges)) < keep
+    base = Graph.from_edges([e for e, k in zip(edges, mask) if k],
+                            num_vertices=g.num_vertices)
+    check_delta_is_difference(g, base, get_query(data))
+
+
+# -- the incremental matcher ---------------------------------------------------
+
+
+class TestIncrementalMatcher:
+    def test_accumulates_to_from_scratch_over_stream(self):
+        g = gen.power_law_cluster(40, 3, triad_p=0.6, seed=12)
+        stream = temporal_edge_stream(g, 60, batch_size=8, seed=13,
+                                      delete_fraction=0.35)
+        final = stream.final_graph()
+        for pattern in (TRIANGLE, SQUARE):
+            matcher = IncrementalMatcher(pattern, stream.base)
+            assert sorted(matcher.matches) == brute(stream.base, pattern)
+            for batch in stream.batches:
+                matcher.apply(batch.inserts, batch.deletes)
+            assert matcher.violations == 0
+            assert sorted(matcher.matches) == brute(final, pattern)
+            assert matcher.count == len(brute(final, pattern))
+
+    def test_deletion_retracts_delivered_match(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)],
+                             num_vertices=4)
+        matcher = IncrementalMatcher(TRIANGLE, g)
+        assert matcher.count == 1
+        result = matcher.apply(deletes=[(0, 1)])
+        assert result.retractions == [(0, 1, 2)]
+        assert result.additions == []
+        assert result.net == -1 and result.count_after == 0
+        assert matcher.count == 0 and matcher.violations == 0
+
+    def test_insertion_reports_only_new_matches(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (1, 3)],
+                             num_vertices=4)
+        matcher = IncrementalMatcher(TRIANGLE, g)
+        result = matcher.apply(inserts=[(2, 3)])
+        assert result.additions == [(1, 2, 3)]
+        assert result.retractions == []
+        assert matcher.count == 2
+
+    def test_same_batch_insert_delete_is_noop(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], num_vertices=3)
+        matcher = IncrementalMatcher(TRIANGLE, g)
+        result = matcher.apply(inserts=[(0, 2)], deletes=[(0, 2)])
+        assert result.delta.is_empty
+        assert result.additions == [] and result.retractions == []
+        assert matcher.count == 0
+
+    def test_countonly_mode_tracks_count(self):
+        g = gen.erdos_renyi(20, 0.25, seed=14)
+        stream = temporal_edge_stream(g, 30, batch_size=6, seed=15)
+        matcher = IncrementalMatcher(TRIANGLE, stream.base,
+                                     keep_matches=False)
+        assert matcher.matches is None
+        for batch in stream.batches:
+            matcher.apply(batch.inserts, batch.deletes)
+        assert matcher.count == len(brute(stream.final_graph(), TRIANGLE))
+
+    def test_no_bootstrap_counts_deltas_only(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)], num_vertices=4)
+        matcher = IncrementalMatcher(TRIANGLE, g, bootstrap=False)
+        assert matcher.count == 0
+        result = matcher.apply(inserts=[(0, 3), (1, 3)])
+        assert result.additions == [(0, 1, 3)]
+        assert matcher.count == 1
